@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark suite.
+
+Regenerating a whole paper figure is expensive, so apps, baselines, and
+measurement series are cached per session.  Every ``test_bench_*`` both
+times its subject with pytest-benchmark and asserts the qualitative shape
+the paper reports (who wins, where the curves flatten).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.suite import build_app
+from repro.eval.experiments import ExperimentConfig
+from repro.eval.metrics import (
+    make_profiler,
+    measure_pipeline,
+    measure_sequential,
+)
+
+#: Traffic volume per measurement run (enough to amortize pipeline fill).
+PACKETS = 60
+
+#: Degrees every figure sweeps (the paper plots 1..10).
+DEGREES = list(range(1, 11))
+
+
+@pytest.fixture(scope="session")
+def apps():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = build_app(name, packets=PACKETS)
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def baselines(apps):
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = measure_sequential(apps(name))
+        return cache[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def measured(apps, baselines):
+    """measured(name, degree, **kwargs) -> PipelineMeasurement, cached."""
+    cache = {}
+
+    def get(name, degree, **kwargs):
+        key = (name, degree, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            app = apps(name)
+            cache[key] = measure_pipeline(
+                app, degree, baseline=baselines(name),
+                use_profiles=True, **kwargs,
+            )
+        return cache[key]
+
+    return get
+
+
+def series_of(measured, name, metric="speedup", degrees=DEGREES):
+    values = {}
+    for degree in degrees:
+        measurement = measured(name, degree)
+        values[degree] = (measurement.speedup if metric == "speedup"
+                          else measurement.overhead_ratio)
+    return values

@@ -1,0 +1,37 @@
+"""Ablation — the balance variance ε (paper §3.3).
+
+"The balance variance e reflects the tradeoff between the balance and the
+cost of the cut ... its value is set to 1/16 in our implementation, as a
+result of experimentation and tuning."
+
+Sweeping ε on the IPv4 PPS: tight ε favors balance (better longest-stage
+time); loose ε favors cheap cuts (smaller messages) at the price of
+balance.
+"""
+
+DEGREE = 5
+EPSILONS = [1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2]
+
+
+def test_bench_epsilon_sweep(benchmark, measured):
+    def regenerate():
+        return {eps: measured("ipv4", DEGREE, epsilon=eps)
+                for eps in EPSILONS}
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(f"Balance-variance sweep (ipv4 PPS, degree {DEGREE})")
+    print(f"{'epsilon':>8s} {'speedup':>8s} {'longest':>8s} {'total msg words':>16s}")
+    for eps, m in results.items():
+        print(f"{eps:8.4f} {m.speedup:8.2f} {m.longest_stage:8.1f} "
+              f"{sum(m.message_words):16d}")
+
+    tight = results[1.0 / 32]
+    paper = results[1.0 / 16]
+    loose = results[1.0 / 2]
+    # Tight balance keeps the longest stage within a modest factor of the
+    # loosest configuration's (usually better, never catastrophically
+    # worse).
+    assert paper.longest_stage <= loose.longest_stage * 1.3
+    assert tight.speedup > 1.5 and paper.speedup > 1.5
+    assert all(m.equivalent for m in results.values())

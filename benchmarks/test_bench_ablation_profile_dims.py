@@ -1,0 +1,50 @@
+"""Ablation — profile-dimensioned weights for multi-path PPSes.
+
+The paper's weight function "is flexible and can model various factors".
+For the combined IP PPS (exclusive IPv4/IPv6 code paths), balancing the
+*static* instruction count can still concentrate one traffic class's
+dynamic work in few stages.  Weighting units by per-class profiled
+frequencies balances every class.
+"""
+
+from repro.eval.metrics import make_profiler, measure_pipeline
+from repro.pipeline.transform import pipeline_pps
+
+DEGREE = 9
+
+
+def test_bench_profile_dimensioned_weights(benchmark, apps, baselines):
+    v4 = apps("ip_v4")
+    v6 = apps("ip_v6")
+
+    def regenerate():
+        static_transform = pipeline_pps(v4.module, v4.pps_name, DEGREE)
+        profiled_transform = pipeline_pps(v4.module, v4.pps_name, DEGREE,
+                                          profiler=make_profiler(v4))
+        rows = {}
+        for label, transform in (("static", static_transform),
+                                 ("profiled", profiled_transform)):
+            rows[label] = {
+                "v4": measure_pipeline(v4, DEGREE, baseline=baselines("ip_v4"),
+                                       transform=transform),
+                "v6": measure_pipeline(v6, DEGREE, baseline=baselines("ip_v6"),
+                                       transform=transform),
+            }
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(f"Weight-function ablation (IP PPS, degree {DEGREE})")
+    print(f"{'weights':10s} {'v4 speedup':>11s} {'v6 speedup':>11s} {'min':>6s}")
+    for label, row in rows.items():
+        worst = min(row["v4"].speedup, row["v6"].speedup)
+        print(f"{label:10s} {row['v4'].speedup:11.2f} "
+              f"{row['v6'].speedup:11.2f} {worst:6.2f}")
+
+    static_worst = min(rows["static"]["v4"].speedup,
+                       rows["static"]["v6"].speedup)
+    profiled_worst = min(rows["profiled"]["v4"].speedup,
+                         rows["profiled"]["v6"].speedup)
+    assert profiled_worst > static_worst, \
+        "profiled weights must lift the worse traffic class"
+    assert profiled_worst > 4.0

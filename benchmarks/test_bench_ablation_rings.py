@@ -1,0 +1,32 @@
+"""Ablation — NN rings vs scratch rings vs SRAM rings (paper §2.1).
+
+The IXP's nearest-neighbor rings move words in a few cycles; scratch and
+SRAM rings cost an order of magnitude more per enqueue/dequeue.  The same
+partition therefore loses speedup as the channel gets dearer — and the
+balanced cut, which sees the channel costs as VCost/CCost, trims the live
+set harder for expensive rings.
+"""
+
+from repro.machine.costs import NN_RING, SCRATCH_RING, SRAM_RING
+
+DEGREE = 5
+
+
+def test_bench_ring_cost_models(benchmark, measured):
+    def regenerate():
+        return {model.name: measured("ipv4", DEGREE, costs=model)
+                for model in (NN_RING, SCRATCH_RING, SRAM_RING)}
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(f"Ring cost-model ablation (ipv4 PPS, degree {DEGREE})")
+    print(f"{'channel':14s} {'speedup':>8s} {'overhead':>9s}")
+    for name, m in results.items():
+        print(f"{name:14s} {m.speedup:8.2f} {m.overhead_ratio:9.3f}")
+
+    nn = results["nn-ring"]
+    scratch = results["scratch-ring"]
+    sram = results["sram-ring"]
+    assert nn.speedup > scratch.speedup > sram.speedup * 0.98
+    assert nn.overhead_ratio < scratch.overhead_ratio < sram.overhead_ratio
+    assert all(m.equivalent for m in results.values())

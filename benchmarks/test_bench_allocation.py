@@ -1,0 +1,43 @@
+"""Extension experiment — whole-application engine allocation (§2.2).
+
+The product compiler "automatically explores how each PPS is paralleled
+and how many PEs each PPS is mapped onto".  We run the greedy
+marginal-gain allocator for the five-PPS IPv4 forwarding application on
+an IXP2800's sixteen engines, choosing per PPS between pipelining and
+synchronized replication.
+"""
+
+from repro.apps.suite import IPV4_FORWARDING_PPSES
+from repro.eval.allocation import CostCurves, allocate_engines
+
+
+def test_bench_ixp2800_allocation(benchmark):
+    def regenerate():
+        curves = CostCurves(IPV4_FORWARDING_PPSES, packets=40)
+        return allocate_engines(IPV4_FORWARDING_PPSES, 16, curves=curves)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print("IXP2800 allocation, IPv4 forwarding application (16 engines)")
+    print(f"{'pps':10s} {'configuration':16s} {'cost/pkt':>9s}")
+    for name, option in result.chosen.items():
+        print(f"{name:10s} {option.label:16s} {option.cost:9.0f}")
+    print(f"engines used   : {result.engines_used()}/16")
+    print(f"application    : {result.sequential_cost:.0f} -> "
+          f"{result.application_cost:.0f} per packet "
+          f"({result.speedup:.2f}x)")
+
+    # Expected structure of the solution:
+    assert result.engines_used() <= 16
+    assert result.speedup > 3.5
+    # RX cannot replicate (device dequeue order): it must be pipelined.
+    assert result.chosen["rx"].mode == "pipeline"
+    assert result.chosen["rx"].engines >= 3
+    # The forwarding PPS gets multiple engines in some mode.
+    assert result.chosen["ipv4"].engines >= 3
+    # Nothing helps the serialized PPSes: they stay on one engine each.
+    assert result.chosen["scheduler"].engines == 1
+    assert result.chosen["qm"].engines == 1
+    # Greedy stops when the bottleneck cannot improve, rather than
+    # spending engines for nothing.
+    assert result.history, "at least one upgrade must happen"

@@ -1,0 +1,57 @@
+"""Compiler-speed benchmarks: how fast is the transformation itself?
+
+These time the pieces a compiler engineer cares about: frontend+lowering,
+the full pipelining transformation, and raw push-relabel max-flow.
+"""
+
+import random
+
+from repro.apps.ipv4 import ipv4_source
+from repro.apps.suite import build_app
+from repro.flownet.network import FlowNetwork
+from repro.flownet.push_relabel import PushRelabel
+from repro.ir.inline import inline_module
+from repro.ir.lowering import lower_program
+from repro.lang import compile_source
+from repro.pipeline.transform import pipeline_pps
+
+
+def test_bench_frontend_and_lowering(benchmark):
+    source = ipv4_source()
+
+    def compile_all():
+        module = lower_program(compile_source(source))
+        inline_module(module)
+        return module
+
+    module = benchmark(compile_all)
+    assert module.pps("ipv4").blocks
+
+
+def test_bench_pipeline_transformation(benchmark):
+    app = build_app("ipv4", packets=8)
+
+    def transform():
+        return pipeline_pps(app.module, app.pps_name, 9)
+
+    result = benchmark(transform)
+    assert len(result.stages) == 9
+
+
+def test_bench_push_relabel_dense_random(benchmark):
+    rng = random.Random(99)
+    net = FlowNetwork()
+    n = 120
+    for node in range(n):
+        net.add_node(node)
+    for _ in range(n * 8):
+        src, dst = rng.sample(range(n), 2)
+        net.add_edge(src, dst, rng.randint(1, 50))
+    net.set_source(0)
+    net.set_sink(n - 1)
+
+    def solve():
+        return PushRelabel(net).max_flow()
+
+    flow = benchmark(solve)
+    assert flow >= 0

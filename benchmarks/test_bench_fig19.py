@@ -1,0 +1,43 @@
+"""Figure 19 — speedup vs pipelining degree, NPF IPv4 forwarding PPSes.
+
+Paper shapes asserted:
+
+* RX and TX scale well up to about degree 5, then level off (live-set
+  transmission offsets the shrinking per-stage instruction count);
+* the IPv4 PPS keeps scaling through degree 10;
+* QM and Scheduler stay flat (inherent PPS-loop-carried dependence).
+"""
+
+from conftest import DEGREES, series_of
+from repro.eval.report import render_figure
+
+
+def test_bench_figure19(benchmark, measured):
+    def regenerate():
+        return {name: series_of(measured, name)
+                for name in ("rx", "ipv4", "scheduler", "qm", "tx")}
+
+    series = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(render_figure("Figure 19: speedup of the IPv4 forwarding PPSes",
+                        series))
+
+    rx, ipv4 = series["rx"], series["ipv4"]
+    scheduler, qm, tx = series["scheduler"], series["qm"], series["tx"]
+
+    # RX/TX scale early, then level off: the tail gains little.
+    for name, curve in (("rx", rx), ("tx", tx)):
+        assert curve[5] > 1.8, f"{name} must scale to mid degrees"
+        tail_gain = curve[10] / curve[7]
+        assert tail_gain < 1.25, f"{name} must level off after ~degree 5-7"
+
+    # The IPv4 PPS keeps scaling: >4x at degree 9 (the paper's headline)
+    # and still improving toward 10.
+    assert ipv4[9] > 4.0
+    assert ipv4[10] >= ipv4[9]
+    assert ipv4[10] > max(rx[10], tx[10])
+
+    # QM and Scheduler are flat for every degree.
+    for name, curve in (("scheduler", scheduler), ("qm", qm)):
+        for degree in DEGREES[1:]:
+            assert curve[degree] < 1.15, f"{name} cannot pipeline"

@@ -1,0 +1,37 @@
+"""Figure 20 — speedup vs pipelining degree, NPF IP forwarding PPSes.
+
+The combined IP PPS (IPv4 + IPv6 code paths) must keep scaling for *both*
+traffic classes, while RX/TX level off — same shapes as Figure 19 with
+the two-path PPS in place of IPv4.
+"""
+
+from conftest import series_of
+from repro.eval.report import render_figure
+
+
+def test_bench_figure20(benchmark, measured):
+    def regenerate():
+        return {name: series_of(measured, name)
+                for name in ("rx", "ip_v4", "ip_v6", "tx")}
+
+    series = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(render_figure("Figure 20: speedup of the IP forwarding PPSes",
+                        series))
+
+    ip_v4, ip_v6 = series["ip_v4"], series["ip_v6"]
+
+    # Both traffic classes of the IP PPS keep scaling: >4x at 9 stages.
+    assert ip_v4[9] > 4.0
+    assert ip_v6[9] > 4.0
+    assert ip_v4[10] >= ip_v4[9] * 0.95
+    assert ip_v6[10] >= ip_v6[9] * 0.95
+
+    # Monotone-ish growth across the sweep for the forwarding PPS.
+    for curve in (ip_v4, ip_v6):
+        assert curve[5] > curve[2] > 1.2
+        assert curve[9] > curve[5]
+
+    # RX/TX flatten as in Figure 19.
+    for name in ("rx", "tx"):
+        assert series[name][10] / series[name][7] < 1.25

@@ -1,0 +1,39 @@
+"""Figure 21 — live-set transmission overhead, IPv4 forwarding PPSes.
+
+The metric (paper §4): in the longest pipeline stage, instructions spent
+receiving/transmitting the live set divided by instructions spent on
+packet processing.  Shapes: overhead grows with the pipelining degree and
+is much larger for the thin RX/TX PPSes than for the compute-heavy IPv4
+PPS — which is exactly why RX/TX level off in Figure 19.
+"""
+
+from conftest import series_of
+from repro.eval.report import render_figure
+
+
+def test_bench_figure21(benchmark, measured):
+    def regenerate():
+        return {name: series_of(measured, name, metric="overhead")
+                for name in ("rx", "ipv4", "scheduler", "qm", "tx")}
+
+    series = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(render_figure(
+        "Figure 21: live-set transmission overhead, IPv4 forwarding",
+        series, value_format="{:6.3f}"))
+
+    for name in ("rx", "ipv4", "tx"):
+        curve = series[name]
+        assert curve[1] == 0.0
+        assert curve[9] > curve[2] > 0.0, f"{name} overhead must grow"
+
+    # RX and TX pay proportionally more than the IPv4 PPS across the high
+    # degrees (single points can tie: the bottleneck stage moves around).
+    def tail_mean(curve):
+        return sum(curve[d] for d in range(5, 11)) / 6
+
+    assert tail_mean(series["rx"]) > tail_mean(series["ipv4"])
+    assert tail_mean(series["tx"]) > tail_mean(series["ipv4"])
+
+    # The serialized PPSes barely transmit (everything stays in one stage).
+    assert series["qm"][9] < series["ipv4"][9] + 0.35

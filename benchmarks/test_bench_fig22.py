@@ -1,0 +1,32 @@
+"""Figure 22 — live-set transmission overhead, IP forwarding PPSes."""
+
+from conftest import series_of
+from repro.eval.report import render_figure
+
+
+def test_bench_figure22(benchmark, measured):
+    def regenerate():
+        return {name: series_of(measured, name, metric="overhead")
+                for name in ("rx", "ip_v4", "ip_v6", "tx")}
+
+    series = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(render_figure(
+        "Figure 22: live-set transmission overhead, IP forwarding",
+        series, value_format="{:6.3f}"))
+
+    for name, curve in series.items():
+        assert curve[1] == 0.0
+        assert curve[9] > 0.0, f"{name} must transmit at degree 9"
+
+    # The compute-heavy IP paths amortize transmission better than RX/TX
+    # relative to their compute: RX/TX overhead has flattened high while
+    # the forwarding paths keep gaining speedup through degree 9-10.
+    def tail_mean(curve):
+        return sum(curve[d] for d in range(5, 11)) / 6
+
+    assert tail_mean(series["rx"]) > 0.2
+    assert tail_mean(series["tx"]) > 0.2
+    # Overhead grows with degree for the forwarding paths.
+    for name in ("ip_v4", "ip_v6"):
+        assert series[name][9] > series[name][3]

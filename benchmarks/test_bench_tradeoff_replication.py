@@ -1,0 +1,94 @@
+"""Extension experiment — pipelining vs multiprocessing (paper §5).
+
+"There are complicated tradeoffs in the resource management, in addition
+to the code size implications, between these two approaches. ... The
+performance result may be radically different as a result."
+
+For every benchmark PPS we compare the paper's pipelining transformation
+against PPS replication with inserted synchronization at the same engine
+count, plus the structural costs the paper names (code size, live-set
+words vs critical-section size).  Expected shape:
+
+* compute-heavy forwarding PPSes replicate almost linearly (tiny serial
+  sections) — replication wins on raw throughput when the whole program
+  fits on one engine;
+* RX serializes on the media-interface dequeue order (multi-site access),
+  so only pipelining helps it;
+* QM/Scheduler gain from neither (their whole iteration is one critical
+  section — the paper points them at multithreading instead);
+* replication multiplies code size by the engine count, pipelining keeps
+  the total roughly constant — the paper's "code size implications".
+"""
+
+from repro.eval.metrics import measure_pipeline, measure_replication
+from repro.pipeline.replicate import replicate_pps
+from repro.pipeline.transform import pipeline_pps
+
+ENGINES = 8
+APPS = ["rx", "ipv4", "scheduler", "qm", "tx"]
+
+
+def test_bench_pipelining_vs_replication(benchmark, apps, baselines):
+    def regenerate():
+        rows = {}
+        for name in APPS:
+            app = apps(name)
+            base = baselines(name)
+            pipelined = measure_pipeline(app, ENGINES, baseline=base)
+            replicated = measure_replication(app, ENGINES, baseline=base)
+            rows[name] = (pipelined, replicated)
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(f"Pipelining vs replication at {ENGINES} engines")
+    print(f"{'pps':10s} {'pipeline':>9s} {'replicate':>10s} "
+          f"{'serial bound':>13s} {'sync ovh':>9s}")
+    for name, (pipelined, replicated) in rows.items():
+        print(f"{name:10s} {pipelined.speedup:8.2f}x {replicated.speedup:9.2f}x "
+              f"{replicated.serial_bound:13.1f} {replicated.sync_overhead:9.1f}")
+
+    # Compute-heavy PPSes: replication ~linear, beating pipelining.
+    assert rows["ipv4"][1].speedup > 6.0
+    assert rows["ipv4"][1].speedup > rows["ipv4"][0].speedup
+    assert rows["tx"][1].speedup > rows["tx"][0].speedup
+    # RX: the device dequeue serializes replication; pipelining wins.
+    assert rows["rx"][1].speedup < 1.5
+    assert rows["rx"][0].speedup > rows["rx"][1].speedup
+    # QM / Scheduler: neither transformation helps.
+    for name in ("qm", "scheduler"):
+        assert rows[name][0].speedup < 1.2
+        assert rows[name][1].speedup < 1.2
+
+
+def test_bench_code_size_implications(benchmark, apps):
+    """The paper's 'code size implications': replication multiplies the
+    per-application instruction footprint by the engine count."""
+
+    def regenerate():
+        app = apps("ipv4")
+        pipelined = pipeline_pps(app.module, app.pps_name, ENGINES)
+        replicated = replicate_pps(app.module, app.pps_name, ENGINES)
+        original = app.module.pps(app.pps_name).weight()
+        pipeline_total = sum(stage.function.weight()
+                             for stage in pipelined.stages)
+        replica_total = sum(replica.function.weight()
+                            for replica in replicated.replicas)
+        return original, pipeline_total, replica_total
+
+    original, pipeline_total, replica_total = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1)
+    print()
+    print(f"Code size (static weight), ipv4 PPS at {ENGINES} engines:")
+    print(f"  sequential          : {original}")
+    print(f"  pipelined, total    : {pipeline_total} "
+          f"({pipeline_total / original:.2f}x)")
+    print(f"  replicated, total   : {replica_total} "
+          f"({replica_total / original:.2f}x)")
+
+    # Replication pays ~ENGINES times the code; pipelining pays much less
+    # (the body is partitioned — only transmission glue, per-stage
+    # dispatch, and the replicated prologue are added).
+    assert replica_total > original * (ENGINES - 1)
+    assert pipeline_total < replica_total / 2
+    assert pipeline_total < original * (ENGINES / 2)

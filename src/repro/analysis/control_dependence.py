@@ -1,0 +1,50 @@
+"""Control dependence (Ferrante–Ottenstein–Warren style).
+
+Node ``X`` is control dependent on node ``A`` (via a successor edge
+``A -> S``) when ``X`` post-dominates ``S`` but does not post-dominate
+``A``.  The standard computation: for each edge ``A -> S`` where ``S``'s
+post-dominator does not cover ``A``, walk the post-dominator tree from
+``S`` up to (but excluding) ``ipdom(A)``, marking every visited node as
+control dependent on ``A``.
+
+The pipelining transformation computes control dependence on the
+*summarized* PPS loop body graph (paper step 1.4), whose nodes are CFG
+SCCs; a summarized node with several successors acts as a (possibly
+multi-exit-loop) conditional.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominance import VIRTUAL_EXIT, post_dominator_tree
+from repro.analysis.graph import Digraph, Node
+
+
+def control_dependences(graph: Digraph) -> dict[Node, set[Node]]:
+    """Map each node to the set of nodes it is control dependent on.
+
+    ``graph`` must have at least one exit node (no successors); the PPS
+    loop body graph always does (the latch).
+    """
+    pdom, _ = post_dominator_tree(graph)
+    result: dict[Node, set[Node]] = {node: set() for node in graph.nodes}
+    for src in graph.nodes:
+        for dst in graph.succs(src):
+            # If dst post-dominates src, the edge decides nothing.
+            if pdom.dominates(dst, src):
+                continue
+            stop = pdom.immediate_dominator(src)
+            runner = dst
+            while runner != stop and runner != VIRTUAL_EXIT and runner is not None:
+                result[runner].add(src)
+                runner = pdom.immediate_dominator(runner)
+    return result
+
+
+def controlled_by(graph: Digraph) -> dict[Node, set[Node]]:
+    """Inverse view: map each branch node to the nodes it controls."""
+    deps = control_dependences(graph)
+    result: dict[Node, set[Node]] = {node: set() for node in graph.nodes}
+    for node, brancher_set in deps.items():
+        for brancher in brancher_set:
+            result[brancher].add(node)
+    return result

@@ -1,0 +1,124 @@
+"""Natural-loop detection and the loop nesting forest.
+
+Used for reporting (the Figure 18 application statistics) and exposed as
+general compiler infrastructure: back edges via dominance, natural loop
+bodies via backwards reachability, and a nesting forest ordered by
+containment.  Irreducible cycles (no dominating header) are detected and
+reported separately — the pipelining transformation itself only needs
+SCCs, so irreducibility never blocks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.graph import Digraph, Node, strongly_connected_components
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: a header and every node of its body."""
+
+    header: Node
+    body: set[Node] = field(default_factory=set)
+    back_edges: list[tuple[Node, Node]] = field(default_factory=list)
+    parent: "NaturalLoop | None" = None
+    children: list["NaturalLoop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        ancestor = self.parent
+        while ancestor is not None:
+            depth += 1
+            ancestor = ancestor.parent
+        return depth
+
+    def contains(self, node: Node) -> bool:
+        return node in self.body
+
+    def __repr__(self) -> str:
+        return f"<NaturalLoop header={self.header} |body|={len(self.body)}>"
+
+
+@dataclass
+class LoopForest:
+    """All natural loops of a graph, with nesting structure."""
+
+    loops: list[NaturalLoop]
+    roots: list[NaturalLoop]
+    irreducible_components: list[list[Node]]
+
+    def loop_of(self, node: Node) -> NaturalLoop | None:
+        """The innermost loop containing ``node`` (None if none does)."""
+        innermost = None
+        for loop in self.loops:
+            if node in loop.body:
+                if innermost is None or len(loop.body) < len(innermost.body):
+                    innermost = loop
+        return innermost
+
+    def depth_of(self, node: Node) -> int:
+        loop = self.loop_of(node)
+        return loop.depth if loop else 0
+
+
+def find_natural_loops(graph: Digraph) -> LoopForest:
+    """Compute the loop forest of ``graph`` (rooted at ``graph.entry``)."""
+    assert graph.entry is not None
+    dom = DominatorTree.compute(graph)
+    reachable = set(dom.order)
+
+    # Back edges: tail -> header where header dominates tail.
+    by_header: dict[Node, NaturalLoop] = {}
+    for tail in reachable:
+        for header in graph.succs(tail):
+            if header in reachable and dom.dominates(header, tail):
+                loop = by_header.setdefault(header, NaturalLoop(header))
+                loop.back_edges.append((tail, header))
+
+    # Loop bodies: header plus everything that reaches a back-edge tail
+    # without passing through the header.
+    for header, loop in by_header.items():
+        body = {header}
+        stack = [tail for tail, _ in loop.back_edges if tail != header]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            for pred in graph.preds(node):
+                if pred in reachable and pred not in body:
+                    stack.append(pred)
+        loop.body = body
+
+    loops = sorted(by_header.values(), key=lambda l: (len(l.body), str(l.header)))
+
+    # Nesting: the parent is the smallest strictly-containing loop.
+    for inner in loops:
+        for outer in loops:
+            if outer is inner or len(outer.body) <= len(inner.body):
+                continue
+            if inner.header in outer.body and inner.body <= outer.body:
+                if inner.parent is None or len(outer.body) < len(inner.parent.body):
+                    inner.parent = outer
+    for loop in loops:
+        if loop.parent is not None:
+            loop.parent.children.append(loop)
+    roots = [loop for loop in loops if loop.parent is None]
+
+    # Irreducible cycles: SCCs with a cycle but no natural-loop header
+    # covering all their internal back edges.
+    natural_nodes: set[Node] = set()
+    for loop in loops:
+        natural_nodes |= loop.body
+    irreducible = []
+    for component in strongly_connected_components(graph):
+        is_cycle = len(component) > 1 or graph.has_edge(component[0], component[0])
+        if not is_cycle:
+            continue
+        if not any(set(component) <= loop.body for loop in loops):
+            irreducible.append(component)
+    return LoopForest(loops=loops, roots=roots,
+                      irreducible_components=irreducible)

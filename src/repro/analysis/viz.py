@@ -1,0 +1,106 @@
+"""Graphviz (DOT) export for CFGs, dependence models, and stage maps.
+
+Purely textual — no graphviz dependency; the output renders with any
+``dot`` binary.  Handy for debugging partitions::
+
+    from repro.analysis.viz import stage_map_to_dot
+    print(stage_map_to_dot(result))           # a PipelineResult
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dependence_graph import DepKind, LoopDependenceModel
+from repro.ir.function import Function
+
+_STAGE_COLORS = [
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+    "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00",
+]
+
+
+def _quote(text: str) -> str:
+    return '"' + str(text).replace('"', r"\"") + '"'
+
+
+def cfg_to_dot(function: Function, *, include_instructions: bool = False,
+               name: str | None = None) -> str:
+    """The function's CFG as a DOT digraph."""
+    lines = [f"digraph {_quote(name or function.name)} {{",
+             "  node [shape=box, fontname=monospace];"]
+    for block in function.ordered_blocks():
+        if include_instructions:
+            body = "\\l".join(str(inst) for inst in block.all_instructions())
+            label = f"{block.name}\\l{body}\\l"
+        else:
+            label = f"{block.name} ({block.weight()}w)"
+        extras = ", style=bold" if block.name == function.entry else ""
+        lines.append(f"  {_quote(block.name)} [label={_quote(label)}{extras}];")
+    for block in function.ordered_blocks():
+        for successor in block.successors():
+            lines.append(f"  {_quote(block.name)} -> {_quote(successor)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_DEP_STYLES = {
+    DepKind.DATA: 'color="#1f78b4"',
+    DepKind.CONTROL: 'color="#33a02c", style=dashed',
+    DepKind.ORDER: 'color="#e31a1c", style=dotted',
+    DepKind.COLOCATE: 'color="#6a3d9a", dir=both',
+}
+
+
+def dependence_model_to_dot(model: LoopDependenceModel) -> str:
+    """The unit-level dependence graph as a DOT digraph.
+
+    Units are boxes labelled with their blocks and weight; edge styles
+    distinguish data / control / order / colocation dependences.
+    """
+    lines = ["digraph dependence_units {",
+             "  node [shape=box, fontname=monospace];"]
+    for unit in sorted(model.units.members):
+        blocks = model.unit_blocks(unit)
+        sample = ", ".join(sorted(blocks)[:3])
+        if len(blocks) > 3:
+            sample += f", … (+{len(blocks) - 3})"
+        label = f"u{unit} [{model.unit_weight(unit)}w]\\n{sample}"
+        lines.append(f"  u{unit} [label={_quote(label)}];")
+    seen = set()
+    for edge in model.unit_edges():
+        key = (edge.src, edge.dst, edge.kind)
+        if key in seen:
+            continue
+        seen.add(key)
+        style = _DEP_STYLES[edge.kind]
+        lines.append(f"  u{edge.src} -> u{edge.dst} [{style}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def stage_map_to_dot(result) -> str:
+    """A PipelineResult's CFG colored by stage (one cluster per stage)."""
+    function = result.normalized
+    assignment = result.assignment
+    lines = ["digraph stage_map {",
+             "  node [shape=box, fontname=monospace, style=filled];",
+             "  rankdir=TB;"]
+    by_stage: dict[int, list[str]] = {}
+    for block_name, stage in assignment.block_stage.items():
+        by_stage.setdefault(stage, []).append(block_name)
+    for stage in sorted(by_stage):
+        color = _STAGE_COLORS[(stage - 1) % len(_STAGE_COLORS)]
+        lines.append(f"  subgraph cluster_stage{stage} {{")
+        lines.append(f"    label={_quote(f'stage {stage}')};")
+        for block_name in sorted(by_stage[stage]):
+            weight = function.block(block_name).weight()
+            label = f"{block_name} ({weight}w)"
+            lines.append(f"    {_quote(block_name)} "
+                         f"[label={_quote(label)}, fillcolor={_quote(color)}];")
+        lines.append("  }")
+    body = set(result.loop.body)
+    for block_name in sorted(body):
+        for successor in function.block(block_name).successors():
+            if successor in body:
+                lines.append(f"  {_quote(block_name)} -> {_quote(successor)};")
+    lines.append("}")
+    return "\n".join(lines)

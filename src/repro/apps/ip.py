@@ -1,0 +1,44 @@
+"""The combined IP forwarding PPS (NPF IP forwarding benchmark, paper §4).
+
+One PPS with two code paths — IPv4 and IPv6 — selected by the PPP
+protocol id, exactly like the paper's IP PPS ("the IP PPS consisting of
+two code paths[,] one for the IPv4 traffic and the other for the IPv6
+traffic").
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import POS_HEADER_BYTES, PPP_IPV4, PPP_IPV6, TAG_DROP_PROTO
+from repro.apps.ipv4 import IPV4_HELPERS, IPV4_REGIONS, ipv4_body
+from repro.apps.ipv6 import IPV6_REGIONS, ipv6_body
+
+
+def ip_source(in_pipe: str = "ip_in", out_pipe: str = "ip_out") -> str:
+    """PPS-C source of the combined IPv4/IPv6 forwarding PPS."""
+    v4 = ipv4_body("h", "hbase", in_pipe, out_pipe, indent="            ")
+    v6 = ipv6_body("h", "hbase", out_pipe, indent="            ")
+    return f"""
+pipe {in_pipe};
+pipe {out_pipe};
+{IPV4_REGIONS}
+{IPV6_REGIONS}
+{IPV4_HELPERS}
+
+pps ip {{
+    for (;;) {{
+        int h = pipe_recv({in_pipe});
+        int proto = pkt_load_u16(h, 2);
+        int hbase = {POS_HEADER_BYTES};
+        if (proto == {PPP_IPV4}) {{
+{v4}
+        }}
+        else if (proto == {PPP_IPV6}) {{
+{v6}
+        }}
+        else {{
+            pkt_free(h);
+            trace({TAG_DROP_PROTO}, proto);
+        }}
+    }}
+}}
+"""

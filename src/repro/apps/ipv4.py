@@ -1,0 +1,304 @@
+"""The IPv4 forwarding PPS (NPF IPv4 forwarding benchmark, paper §4).
+
+Implements the RFC 1812 fast-path receive checks, full header checksum
+verification (unrolled), longest-prefix-match via the 16-8-8 trie of
+:mod:`repro.apps.tables`, TTL decrement with incremental checksum update
+(RFC 1624), DSCP classification, and flow hashing.  Compute dominates the
+live set by a wide margin, which is why this PPS keeps scaling with the
+pipelining degree in the paper's Figure 19.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import (
+    META_CLASS,
+    META_LEN,
+    META_NEXT_HOP,
+    META_OUT_PORT,
+    POS_HEADER_BYTES,
+    PPP_IPV4,
+    TAG_DROP_CHECKSUM,
+    TAG_DROP_FRAG,
+    TAG_DROP_HEADER,
+    TAG_DROP_LEN,
+    TAG_DROP_MARTIAN,
+    TAG_DROP_NOROUTE,
+    TAG_DROP_PROTO,
+    TAG_DROP_TTL,
+    TAG_DROP_VERSION,
+    TAG_FWD,
+    unrolled_checksum_words,
+)
+
+#: Region names the IPv4 PPS expects (sizes chosen for the benchmarks).
+IPV4_REGIONS = """
+readonly memory rt_l1[65536];
+readonly memory rt_nodes[16384];
+readonly memory class_map[64];
+readonly memory acl_rules[64];
+"""
+
+#: Number of (prefix, mask, action) ACL rules matched on the fast path.
+ACL_RULES = 8
+
+
+def _unrolled_acl(indent: str) -> str:
+    """Unrolled first-match ACL over ``acl_rules``: rule i occupies words
+    [4i..4i+3] = (value, mask, match-on-src flag, action)."""
+    lines = [f"{indent}int acl_action = 0;", f"{indent}int acl_hit = 0;"]
+    for rule in range(ACL_RULES):
+        base = rule * 4
+        lines.extend([
+            f"{indent}if (acl_hit == 0) {{",
+            f"{indent}    int acl_val{rule} = mem_read(acl_rules, {base});",
+            f"{indent}    int acl_mask{rule} = mem_read(acl_rules, {base + 1});",
+            f"{indent}    int acl_src{rule} = mem_read(acl_rules, {base + 2});",
+            f"{indent}    int acl_subject{rule} = dst;",
+            f"{indent}    if (acl_src{rule} != 0) {{",
+            f"{indent}        acl_subject{rule} = src;",
+            f"{indent}    }}",
+            f"{indent}    if ((acl_subject{rule} & acl_mask{rule}) == acl_val{rule}"
+            f" && acl_mask{rule} != 0) {{",
+            f"{indent}        acl_action = mem_read(acl_rules, {base + 3});",
+            f"{indent}        acl_hit = 1;",
+            f"{indent}    }}",
+            f"{indent}}}",
+        ])
+    return "\n".join(lines)
+
+#: Helper functions shared by the v4 forwarding paths (inlined).
+IPV4_HELPERS = """
+int csum_fold(int sum)
+{
+    sum = (sum & 0xFFFF) + ((sum >> 16) & 0xFFFF);
+    sum = (sum & 0xFFFF) + ((sum >> 16) & 0xFFFF);
+    return sum;
+}
+
+int is_martian_src(int src)
+{
+    int top = (src >> 24) & 0xFF;
+    if (top == 0) return 1;                     // 0.0.0.0/8
+    if (top == 127) return 1;                   // loopback
+    if (top >= 224) return 1;                   // multicast and class E
+    if (src == -1) return 1;                    // 255.255.255.255
+    if (top == 169 && ((src >> 16) & 0xFF) == 254) return 1;  // link local
+    return 0;
+}
+
+int is_bad_dst(int dst)
+{
+    int top = (dst >> 24) & 0xFF;
+    if (top == 0) return 1;
+    if (top == 127) return 1;
+    if (dst == -1) return 1;
+    if (top >= 240) return 1;                   // class E
+    return 0;
+}
+"""
+
+
+def ipv4_body(handle: str, base_reg: str, in_pipe: str, out_pipe: str,
+              *, indent: str = "        ") -> str:
+    """The shared IPv4 validation/lookup/update path (PPS-C text).
+
+    Assumes ``handle`` holds the packet and ``base_reg`` the IP header
+    offset; ends with either a drop (``pkt_free`` + ``continue``) or a
+    ``pipe_send`` to ``out_pipe``.
+    """
+    checksum = unrolled_checksum_words("sum", handle, 0, 10, indent=indent)
+    # The unrolled loads need the runtime header base, not a constant 0.
+    checksum = checksum.replace(f"pkt_load_u16({handle}, 0 +",
+                                f"pkt_load_u16({handle}, {base_reg} +")
+    acl = _unrolled_acl(indent)
+    return f"""
+{indent}int vihl = pkt_load({handle}, {base_reg});
+{indent}int version = (vihl >> 4) & 0xF;
+{indent}if (version != 4) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_VERSION}, vihl);
+{indent}    continue;
+{indent}}}
+{indent}int ihl = vihl & 0xF;
+{indent}if (ihl < 5) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_HEADER}, ihl);
+{indent}    continue;
+{indent}}}
+{indent}int hdr_len = ihl * 4;
+{indent}int pkt_bytes = pkt_meta_get({handle}, {META_LEN});
+{indent}if (pkt_bytes < {base_reg} + hdr_len) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_LEN}, pkt_bytes);
+{indent}    continue;
+{indent}}}
+{indent}int total_len = pkt_load_u16({handle}, {base_reg} + 2);
+{indent}if (total_len < hdr_len) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_LEN} + 100, total_len);
+{indent}    continue;
+{indent}}}
+{indent}if (total_len + {base_reg} > pkt_bytes) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_LEN} + 200, total_len);
+{indent}    continue;
+{indent}}}
+{indent}// Header checksum verification: 10 words unrolled plus options.
+{indent}int sum = 0;
+{checksum}
+{indent}if (ihl > 5) {{
+{indent}    for (int opt = 20; opt < hdr_len; opt += 2) {{
+{indent}        sum = sum + pkt_load_u16({handle}, {base_reg} + opt);
+{indent}    }}
+{indent}}}
+{indent}sum = csum_fold(sum);
+{indent}if (sum != 0xFFFF) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_CHECKSUM}, sum);
+{indent}    continue;
+{indent}}}
+{indent}int ttl = pkt_load({handle}, {base_reg} + 8);
+{indent}if (ttl <= 1) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_TTL}, ttl);
+{indent}    continue;
+{indent}}}
+{indent}int frag = pkt_load_u16({handle}, {base_reg} + 6);
+{indent}if ((frag & 0x3FFF) != 0) {{
+{indent}    // Fragments go to the slow path (not modelled): count and drop.
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_FRAG}, frag);
+{indent}    continue;
+{indent}}}
+{indent}int src = pkt_load_u32({handle}, {base_reg} + 12);
+{indent}if (is_martian_src(src)) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_MARTIAN}, src);
+{indent}    continue;
+{indent}}}
+{indent}int dst = pkt_load_u32({handle}, {base_reg} + 16);
+{indent}if (is_bad_dst(dst)) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_MARTIAN} + 100, dst);
+{indent}    continue;
+{indent}}}
+{indent}// Longest-prefix match: 16-8-8 multibit trie.
+{indent}int entry = mem_read(rt_l1, (dst >> 16) & 0xFFFF);
+{indent}int nexthop_entry = 0;
+{indent}if ((entry & 0x1000000) != 0) {{
+{indent}    nexthop_entry = entry;
+{indent}}}
+{indent}else if ((entry & 0x2000000) != 0) {{
+{indent}    int block2 = (entry & 0xFFFF) * 256;
+{indent}    int entry2 = mem_read(rt_nodes, block2 + ((dst >> 8) & 0xFF));
+{indent}    if ((entry2 & 0x1000000) != 0) {{
+{indent}        nexthop_entry = entry2;
+{indent}    }}
+{indent}    else if ((entry2 & 0x2000000) != 0) {{
+{indent}        int block3 = (entry2 & 0xFFFF) * 256;
+{indent}        int entry3 = mem_read(rt_nodes, block3 + (dst & 0xFF));
+{indent}        if ((entry3 & 0x1000000) != 0) {{
+{indent}            nexthop_entry = entry3;
+{indent}        }}
+{indent}    }}
+{indent}}}
+{indent}if (nexthop_entry == 0) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_NOROUTE}, dst);
+{indent}    continue;
+{indent}}}
+{indent}// Unicast reverse-path forwarding: the source must be routable.
+{indent}int rpf_entry = mem_read(rt_l1, (src >> 16) & 0xFFFF);
+{indent}int rpf_ok = 0;
+{indent}if ((rpf_entry & 0x1000000) != 0) {{
+{indent}    rpf_ok = 1;
+{indent}}}
+{indent}else if ((rpf_entry & 0x2000000) != 0) {{
+{indent}    int rpf_b2 = (rpf_entry & 0xFFFF) * 256;
+{indent}    int rpf_e2 = mem_read(rt_nodes, rpf_b2 + ((src >> 8) & 0xFF));
+{indent}    if ((rpf_e2 & 0x1000000) != 0) {{
+{indent}        rpf_ok = 1;
+{indent}    }}
+{indent}    else if ((rpf_e2 & 0x2000000) != 0) {{
+{indent}        int rpf_b3 = (rpf_e2 & 0xFFFF) * 256;
+{indent}        int rpf_e3 = mem_read(rt_nodes, rpf_b3 + (src & 0xFF));
+{indent}        if ((rpf_e3 & 0x1000000) != 0) {{
+{indent}            rpf_ok = 1;
+{indent}        }}
+{indent}    }}
+{indent}}}
+{indent}if (rpf_ok == 0) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_MARTIAN} + 200, src);
+{indent}    continue;
+{indent}}}
+{acl}
+{indent}if (acl_action == 2) {{
+{indent}    // Deny rule.
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP_MARTIAN} + 300, dst);
+{indent}    continue;
+{indent}}}
+{indent}// 5-tuple flow hash (L4 ports are valid for UDP/TCP fast path).
+{indent}int l4_sport = 0;
+{indent}int l4_dport = 0;
+{indent}int proto_id = pkt_load({handle}, {base_reg} + 9);
+{indent}if (proto_id == 6 || proto_id == 17) {{
+{indent}    l4_sport = pkt_load_u16({handle}, {base_reg} + hdr_len);
+{indent}    l4_dport = pkt_load_u16({handle}, {base_reg} + hdr_len + 2);
+{indent}}}
+{indent}int tuple_hash = hash32(src ^ (dst << 1));
+{indent}tuple_hash = hash32(tuple_hash ^ (l4_sport << 16) ^ l4_dport);
+{indent}tuple_hash = tuple_hash ^ (proto_id * 0x9E3779);
+{indent}// TTL decrement with RFC 1624 incremental checksum update.
+{indent}pkt_store({handle}, {base_reg} + 8, ttl - 1);
+{indent}int old_check = pkt_load_u16({handle}, {base_reg} + 10);
+{indent}int new_check = old_check + 0x100;
+{indent}new_check = (new_check & 0xFFFF) + (new_check >> 16);
+{indent}pkt_store_u16({handle}, {base_reg} + 10, new_check);
+{indent}// DSCP classification (with remark) and class selection.
+{indent}int tos = pkt_load({handle}, {base_reg} + 1);
+{indent}int dscp = (tos >> 2) & 0x3F;
+{indent}int traffic_class = mem_read(class_map, dscp);
+{indent}if (acl_action == 3) {{
+{indent}    // Remark rule: rewrite DSCP to best effort, fix the checksum.
+{indent}    int new_tos = tos & 0x03;
+{indent}    pkt_store({handle}, {base_reg} + 1, new_tos);
+{indent}    int rem_check = pkt_load_u16({handle}, {base_reg} + 10);
+{indent}    rem_check = rem_check + (tos - new_tos);
+{indent}    rem_check = (rem_check & 0xFFFF) + (rem_check >> 16);
+{indent}    pkt_store_u16({handle}, {base_reg} + 10, rem_check);
+{indent}    traffic_class = 0;
+{indent}}}
+{indent}int flow = tuple_hash;
+{indent}pkt_meta_set({handle}, {META_CLASS}, (traffic_class << 16) | (flow & 0xFFFF));
+{indent}pkt_meta_set({handle}, {META_OUT_PORT}, (nexthop_entry >> 16) & 0xFF);
+{indent}pkt_meta_set({handle}, {META_NEXT_HOP}, nexthop_entry & 0xFFFF);
+{indent}trace({TAG_FWD}, dst);
+{indent}pipe_send({out_pipe}, {handle});
+"""
+
+
+def ipv4_source(in_pipe: str = "ipv4_in", out_pipe: str = "ipv4_out") -> str:
+    """PPS-C source of the standalone IPv4 forwarding PPS."""
+    body = ipv4_body("h", "hbase", in_pipe, out_pipe)
+    return f"""
+pipe {in_pipe};
+pipe {out_pipe};
+{IPV4_REGIONS}
+{IPV4_HELPERS}
+
+pps ipv4 {{
+    for (;;) {{
+        int h = pipe_recv({in_pipe});
+        int proto = pkt_load_u16(h, 2);
+        if (proto != {PPP_IPV4}) {{
+            pkt_free(h);
+            trace({TAG_DROP_PROTO}, proto);
+            continue;
+        }}
+        int hbase = {POS_HEADER_BYTES};
+{body}
+    }}
+}}
+"""

@@ -1,0 +1,200 @@
+"""The IPv6 forwarding path (used by the combined IP forwarding PPS).
+
+Validation, hop-limit handling, martian filtering, a one-step extension
+header walk, and an 8-level 8-bit-stride trie lookup over the top 64
+destination bits (fully unrolled — the IPv6 path is longer than the IPv4
+path, as in the paper's IP forwarding benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import (
+    META_CLASS,
+    META_LEN,
+    META_NEXT_HOP,
+    META_OUT_PORT,
+    TAG_DROP6_EXT,
+    TAG_DROP6_HOPLIMIT,
+    TAG_DROP6_MARTIAN,
+    TAG_DROP6_NOROUTE,
+    TAG_FWD6,
+)
+
+#: Region names the IPv6 path expects.
+IPV6_REGIONS = """
+readonly memory rt6_nodes[32768];
+readonly memory class6_map[64];
+readonly memory acl6_rules[64];
+readonly memory policer6[16];
+"""
+
+#: Number of (value, mask, match-on-src, action) IPv6 ACL rules.
+ACL6_RULES = 8
+
+
+def _unrolled_acl6(indent: str) -> str:
+    """Unrolled first-match ACL over the top 32 destination/source bits."""
+    lines = [f"{indent}int acl6_action = 0;", f"{indent}int acl6_hit = 0;"]
+    for rule in range(ACL6_RULES):
+        base = rule * 4
+        lines.extend([
+            f"{indent}if (acl6_hit == 0) {{",
+            f"{indent}    int a6v{rule} = mem_read(acl6_rules, {base});",
+            f"{indent}    int a6m{rule} = mem_read(acl6_rules, {base + 1});",
+            f"{indent}    int a6s{rule} = mem_read(acl6_rules, {base + 2});",
+            f"{indent}    int a6subj{rule} = dst_hi;",
+            f"{indent}    if (a6s{rule} != 0) {{",
+            f"{indent}        a6subj{rule} = src_hi;",
+            f"{indent}    }}",
+            f"{indent}    if ((a6subj{rule} & a6m{rule}) == a6v{rule}"
+            f" && a6m{rule} != 0) {{",
+            f"{indent}        acl6_action = mem_read(acl6_rules, {base + 3});",
+            f"{indent}        acl6_hit = 1;",
+            f"{indent}    }}",
+            f"{indent}}}",
+        ])
+    return "\n".join(lines)
+
+
+def _unrolled_trie6(indent: str) -> str:
+    """Eight unrolled trie levels over dst_hi (32 bits) then dst_lo."""
+    lines = [f"{indent}int node6 = 0;", f"{indent}int entry6 = 0;",
+             f"{indent}int done6 = 0;"]
+    for level in range(8):
+        if level < 4:
+            source = "dst_hi"
+            shift = 24 - 8 * level
+        else:
+            source = "dst_mid"
+            shift = 24 - 8 * (level - 4)
+        lines.append(f"{indent}if (done6 == 0) {{")
+        lines.append(f"{indent}    int nib{level} = ({source} >> {shift}) & 0xFF;")
+        lines.append(f"{indent}    int cand{level} = "
+                     f"mem_read(rt6_nodes, node6 * 256 + nib{level});")
+        lines.append(f"{indent}    if ((cand{level} & 0x1000000) != 0) {{")
+        lines.append(f"{indent}        entry6 = cand{level};")
+        lines.append(f"{indent}        done6 = 1;")
+        lines.append(f"{indent}    }}")
+        lines.append(f"{indent}    else if ((cand{level} & 0x2000000) != 0) {{")
+        lines.append(f"{indent}        node6 = cand{level} & 0xFFFF;")
+        lines.append(f"{indent}    }}")
+        lines.append(f"{indent}    else {{")
+        lines.append(f"{indent}        done6 = 1;")
+        lines.append(f"{indent}    }}")
+        lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def ipv6_body(handle: str, base_reg: str, out_pipe: str,
+              *, indent: str = "        ") -> str:
+    """The IPv6 validation/lookup/update path (PPS-C text)."""
+    trie = _unrolled_trie6(indent)
+    acl6 = _unrolled_acl6(indent)
+    return f"""
+{indent}int v6_first = pkt_load({handle}, {base_reg});
+{indent}if (((v6_first >> 4) & 0xF) != 6) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_MARTIAN} + 300, v6_first);
+{indent}    continue;
+{indent}}}
+{indent}int pkt_bytes6 = pkt_meta_get({handle}, {META_LEN});
+{indent}if (pkt_bytes6 < {base_reg} + 40) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_MARTIAN} + 400, pkt_bytes6);
+{indent}    continue;
+{indent}}}
+{indent}int payload_len = pkt_load_u16({handle}, {base_reg} + 4);
+{indent}if ({base_reg} + 40 + payload_len > pkt_bytes6) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_MARTIAN} + 500, payload_len);
+{indent}    continue;
+{indent}}}
+{indent}int hop_limit = pkt_load({handle}, {base_reg} + 7);
+{indent}if (hop_limit <= 1) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_HOPLIMIT}, hop_limit);
+{indent}    continue;
+{indent}}}
+{indent}int next_hdr = pkt_load({handle}, {base_reg} + 6);
+{indent}int l4_base = {base_reg} + 40;
+{indent}if (next_hdr == 0) {{
+{indent}    // One hop-by-hop extension header step; chains are slow-path.
+{indent}    if (l4_base + 8 > pkt_bytes6) {{
+{indent}        pkt_free({handle});
+{indent}        trace({TAG_DROP6_EXT}, next_hdr);
+{indent}        continue;
+{indent}    }}
+{indent}    int ext_next = pkt_load({handle}, l4_base);
+{indent}    int ext_len = pkt_load({handle}, l4_base + 1);
+{indent}    l4_base = l4_base + 8 + ext_len * 8;
+{indent}    next_hdr = ext_next;
+{indent}    if (next_hdr == 0) {{
+{indent}        pkt_free({handle});
+{indent}        trace({TAG_DROP6_EXT} + 100, next_hdr);
+{indent}        continue;
+{indent}    }}
+{indent}}}
+{indent}int src_hi = pkt_load_u32({handle}, {base_reg} + 8);
+{indent}int src_top = (src_hi >> 24) & 0xFF;
+{indent}if (src_top == 0xFF) {{
+{indent}    // Multicast source is invalid.
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_MARTIAN}, src_hi);
+{indent}    continue;
+{indent}}}
+{indent}int src_lo_check = pkt_load_u32({handle}, {base_reg} + 12);
+{indent}if (src_hi == 0 && src_lo_check == 0) {{
+{indent}    // Unspecified source (top 64 bits zero is close enough here).
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_MARTIAN} + 100, src_hi);
+{indent}    continue;
+{indent}}}
+{indent}int dst_hi = pkt_load_u32({handle}, {base_reg} + 24);
+{indent}int dst_mid = pkt_load_u32({handle}, {base_reg} + 28);
+{indent}int dst_top = (dst_hi >> 24) & 0xFF;
+{indent}if (dst_top == 0xFF) {{
+{indent}    // Multicast forwarding is out of the fast path.
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_MARTIAN} + 200, dst_hi);
+{indent}    continue;
+{indent}}}
+{trie}
+{indent}if (entry6 == 0 || (entry6 & 0x1000000) == 0) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_NOROUTE}, dst_hi);
+{indent}    continue;
+{indent}}}
+{acl6}
+{indent}if (acl6_action == 2) {{
+{indent}    pkt_free({handle});
+{indent}    trace({TAG_DROP6_MARTIAN} + 600, dst_hi);
+{indent}    continue;
+{indent}}}
+{indent}// Flow-label based policing: pick a token bucket by flow hash.
+{indent}int flow_label = pkt_load_u32({handle}, {base_reg}) & 0xFFFFF;
+{indent}int src_lo6 = pkt_load_u32({handle}, {base_reg} + 16);
+{indent}int dst_lo6 = pkt_load_u32({handle}, {base_reg} + 32);
+{indent}int bucket6 = hash32(flow_label ^ src_lo6 ^ dst_lo6) & 15;
+{indent}int rate6 = mem_read(policer6, bucket6);
+{indent}int color6 = 0;
+{indent}if (rate6 != 0) {{
+{indent}    int burst6 = (payload_len * 8) / (rate6 + 1);
+{indent}    if (burst6 > 64) {{
+{indent}        color6 = 2;
+{indent}    }}
+{indent}    else if (burst6 > 16) {{
+{indent}        color6 = 1;
+{indent}    }}
+{indent}}}
+{indent}pkt_store({handle}, {base_reg} + 7, hop_limit - 1);
+{indent}int tclass6 = ((pkt_load({handle}, {base_reg}) & 0xF) << 4)
+{indent}    | ((pkt_load({handle}, {base_reg} + 1) >> 4) & 0xF);
+{indent}int class_val6 = mem_read(class6_map, (tclass6 >> 2) & 0x3F);
+{indent}int flow6 = hash32(src_hi ^ dst_hi ^ (next_hdr << 16) ^ dst_mid);
+{indent}pkt_meta_set({handle}, {META_CLASS},
+{indent}    ((class_val6 ^ color6) << 16) | (flow6 & 0xFFFF));
+{indent}pkt_meta_set({handle}, {META_OUT_PORT}, (entry6 >> 16) & 0xFF);
+{indent}pkt_meta_set({handle}, {META_NEXT_HOP}, entry6 & 0xFFFF);
+{indent}trace({TAG_FWD6}, dst_hi);
+{indent}pipe_send({out_pipe}, {handle});
+"""

@@ -1,0 +1,76 @@
+"""The Queue Manager (QM) PPS.
+
+Maintains per-class packet queues in shared memory: enqueue requests
+arrive from the forwarding PPS, dequeue requests from the scheduler, and
+dequeued packets go to TX.  Like the Scheduler, every iteration updates
+shared flow state (ring indices, occupancy counters), so the dependence
+graph collapses and pipelining cannot help (paper §4).
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import META_CLASS, TAG_QM_DEQ, TAG_QM_DROP, TAG_QM_ENQ
+
+N_QUEUES = 4
+QUEUE_CAPACITY = 64
+
+QM_REGIONS = f"""
+memory qm_rings[{N_QUEUES * QUEUE_CAPACITY}];
+memory qm_state[{N_QUEUES * 2}];
+memory qlen[{N_QUEUES}];
+"""
+
+
+def qm_source(enq_pipe: str = "qm_enq", deq_pipe: str = "qm_deq",
+              out_pipe: str = "qm_out", *, declare_qlen: bool = True) -> str:
+    """PPS-C source of the QM PPS.
+
+    ``declare_qlen`` is disabled when the Scheduler PPS (which declares
+    the shared ``qlen`` region itself) lives in the same program.
+    """
+    regions = QM_REGIONS if declare_qlen else QM_REGIONS.replace(
+        f"memory qlen[{N_QUEUES}];\n", "")
+    return f"""
+pipe {enq_pipe};
+pipe {deq_pipe};
+pipe {out_pipe};
+{regions}
+
+pps qm {{
+    for (;;) {{
+        // Service enqueue requests first, then dequeue decisions.
+        if (pipe_empty({enq_pipe}) == 0) {{
+            int h = pipe_recv({enq_pipe});
+            int qid = (pkt_meta_get(h, {META_CLASS}) >> 16) & {N_QUEUES - 1};
+            int head = mem_read(qm_state, qid * 2);
+            int tail = mem_read(qm_state, qid * 2 + 1);
+            int occupancy = tail - head;
+            if (occupancy >= {QUEUE_CAPACITY}) {{
+                // Tail drop.
+                pkt_free(h);
+                trace({TAG_QM_DROP}, qid);
+            }}
+            else {{
+                int slot = tail & {QUEUE_CAPACITY - 1};
+                mem_write(qm_rings, qid * {QUEUE_CAPACITY} + slot, h);
+                mem_write(qm_state, qid * 2 + 1, tail + 1);
+                mem_write(qlen, qid, occupancy + 1);
+                trace({TAG_QM_ENQ}, qid);
+            }}
+        }}
+        else if (pipe_empty({deq_pipe}) == 0) {{
+            int qid = pipe_recv({deq_pipe});
+            int head = mem_read(qm_state, qid * 2);
+            int tail = mem_read(qm_state, qid * 2 + 1);
+            if (head < tail) {{
+                int slot = head & {QUEUE_CAPACITY - 1};
+                int h = mem_read(qm_rings, qid * {QUEUE_CAPACITY} + slot);
+                mem_write(qm_state, qid * 2, head + 1);
+                mem_write(qlen, qid, tail - head - 1);
+                trace({TAG_QM_DEQ}, qid);
+                pipe_send({out_pipe}, h);
+            }}
+        }}
+    }}
+}}
+"""

@@ -1,0 +1,69 @@
+"""The Scheduler PPS (weighted round-robin over transmit queues).
+
+Every iteration advances the WRR state over the queue-occupancy table and
+emits one dequeue decision.  All of its work reads and writes shared flow
+state (``sched_state``, ``qlen``) — the PPS-loop-carried dependence the
+paper calls out: "Since those two PPSes essentially update the shared flow
+state of the traffic, they have inherent PPS loop-carried dependence in
+the program.  Consequently, they cannot be effectively pipelined."
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import TAG_SCHED
+
+N_QUEUES = 4
+
+SCHEDULER_REGIONS = f"""
+memory qlen[{N_QUEUES}];
+memory sched_state[{N_QUEUES + 2}];
+readonly memory sched_weights[{N_QUEUES}];
+"""
+
+
+def scheduler_source(out_pipe: str = "sched_out") -> str:
+    """PPS-C source of the WRR scheduler PPS."""
+    return f"""
+pipe {out_pipe};
+{SCHEDULER_REGIONS}
+
+pps scheduler {{
+    for (;;) {{
+        // Current position and remaining credit live in shared state.
+        int current = mem_read(sched_state, 0);
+        int credit = mem_read(sched_state, 1);
+        int chosen = -1;
+        int scanned = 0;
+        while (scanned < {N_QUEUES} && chosen < 0) {{
+            int occupancy = mem_read(qlen, current);
+            if (occupancy > 0) {{
+                if (credit > 0) {{
+                    chosen = current;
+                }}
+                else {{
+                    // Credit exhausted: recharge and move on.
+                    current = (current + 1) & {N_QUEUES - 1};
+                    credit = mem_read(sched_weights, current);
+                    scanned = scanned + 1;
+                }}
+            }}
+            else {{
+                current = (current + 1) & {N_QUEUES - 1};
+                credit = mem_read(sched_weights, current);
+                scanned = scanned + 1;
+            }}
+        }}
+        if (chosen >= 0) {{
+            credit = credit - 1;
+            int occupancy2 = mem_read(qlen, chosen);
+            mem_write(qlen, chosen, occupancy2 - 1);
+            mem_write(sched_state, 2 + chosen,
+                      mem_read(sched_state, 2 + chosen) + 1);
+            trace({TAG_SCHED}, chosen);
+            pipe_send({out_pipe}, chosen);
+        }}
+        mem_write(sched_state, 0, current);
+        mem_write(sched_state, 1, credit);
+    }}
+}}
+"""

@@ -1,0 +1,302 @@
+"""Assembled benchmark applications (paper Figure 18).
+
+``build_app`` returns a compiled :class:`AppInstance` for each PPS of the
+two NPF benchmarks:
+
+* IPv4 forwarding: ``rx``, ``ipv4``, ``scheduler``, ``qm``, ``tx``;
+* IP forwarding: ``rx``, ``ip`` (with v4 and v6 traffic variants), ``tx``.
+
+Each instance knows how to populate a fresh machine state with its input
+traffic and supporting tables, so the evaluation harness and the tests
+drive every PPS identically.  ``full_ipv4_source`` additionally assembles
+the five PPSes of the IPv4 forwarding application into one program for
+whole-application runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps import qm as qm_mod
+from repro.apps import scheduler as sched_mod
+from repro.apps.common import (
+    META_IN_PORT,
+    META_LEN,
+    META_OUT_PORT,
+    META_SEQ,
+)
+from repro.apps.ip import ip_source
+from repro.apps.ipv4 import ipv4_source
+from repro.apps.qm import qm_source
+from repro.apps.rx import rx_source
+from repro.apps.scheduler import scheduler_source
+from repro.apps.tables import Ipv4RouteTable, Ipv6RouteTable
+from repro.apps.traffic import TrafficConfig, TrafficGenerator
+from repro.apps.tx import tx_source
+from repro.ir.function import Module
+from repro.ir.inline import inline_module
+from repro.ir.lowering import lower_program
+from repro.ir.optimize import optimize_module
+from repro.lang import compile_source
+from repro.runtime.state import MachineState
+
+#: Prefixes every benchmark route table covers (traffic draws from them).
+IPV4_PREFIXES = [
+    (0x0A000000, 8),    # 10/8
+    (0x0A010000, 16),   # 10.1/16
+    (0x0A010200, 24),   # 10.1.2/24
+    (0xC0A80000, 16),   # 192.168/16
+    (0xAC100000, 12),   # 172.16/12
+    (0x08080000, 20),
+    (0x5DB80000, 17),
+    (0x22C00000, 10),
+]
+
+IPV6_PREFIXES = [
+    (0x2001_0db8_0000_0000, 32),
+    (0x2001_0db8_0001_0000, 48),
+    (0x2001_0db8_0001_0002, 64),
+    (0x2600_1f00_0000_0000, 24),
+    (0x2a03_2880_f000_0000, 40),
+    (0xfd00_1234_0000_0000, 16),
+]
+
+
+def build_ipv4_tables() -> tuple[list[int], list[int]]:
+    table = Ipv4RouteTable()
+    for index, (prefix, plen) in enumerate(IPV4_PREFIXES):
+        table.add_route(prefix, plen, port=index % 4, next_hop=100 + index)
+    return table.build()
+
+
+def build_ipv6_tables() -> list[int]:
+    table = Ipv6RouteTable()
+    for index, (prefix, plen) in enumerate(IPV6_PREFIXES):
+        table.add_route(prefix, plen, port=index % 4, next_hop=200 + index)
+    return table.build()
+
+
+def combine_sources(*sources: str) -> str:
+    """Concatenate PPS-C sources, dropping duplicate one-line declarations
+    (shared pipes and memory regions are declared once)."""
+    seen: set[str] = set()
+    lines: list[str] = []
+    for source in sources:
+        for line in source.splitlines():
+            stripped = line.strip()
+            is_decl = (stripped.startswith(("pipe ", "memory ",
+                                            "readonly memory "))
+                       and stripped.endswith(";"))
+            if is_decl:
+                if stripped in seen:
+                    continue
+                seen.add(stripped)
+            lines.append(line)
+    return "\n".join(lines)
+
+
+@dataclass
+class AppInstance:
+    """One compiled benchmark PPS plus its input-feeding recipe."""
+
+    name: str
+    pps_name: str
+    source: str
+    module: Module
+    setup: Callable[[MachineState], int] = field(repr=False, default=None)
+    description: str = ""
+    #: Traffic-class setups for profile-dimensioned balancing (multi-path
+    #: PPSes like the IP PPS provide one per code path).
+    profile_setups: list = field(repr=False, default=None)
+
+    def fresh_state(self, **kwargs) -> tuple[MachineState, int]:
+        """A populated machine state and the iteration budget for stage 1."""
+        state = MachineState(self.module, **kwargs)
+        iterations = self.setup(state)
+        return state, iterations
+
+
+def _compile(source: str) -> Module:
+    module = lower_program(compile_source(source))
+    inline_module(module)
+    optimize_module(module)
+    return module
+
+
+def _load_common_tables(state: MachineState) -> None:
+    if "rt_l1" in state.regions:
+        level1, nodes = build_ipv4_tables()
+        state.load_region("rt_l1", level1)
+        state.load_region("rt_nodes", nodes)
+    if "rt6_nodes" in state.regions:
+        state.load_region("rt6_nodes", build_ipv6_tables())
+    if "class_map" in state.regions:
+        state.load_region("class_map", [(i * 3 + 1) & 0x7 for i in range(64)])
+    if "acl_rules" in state.regions:
+        # (value, mask, match-on-src, action): action 2 = deny, 3 = remark.
+        rules = [
+            0x0A630000, 0xFFFF0000, 0, 2,   # deny dst 10.99/16 (rare)
+            0xAC100000, 0xFFF00000, 0, 3,   # remark dst 172.16/12
+            0x7F000000, 0xFF000000, 1, 2,   # deny src loopback (redundant)
+            0xC0A82A00, 0xFFFFFF00, 1, 3,   # remark src 192.168.42/24
+        ]
+        state.load_region("acl_rules", rules + [0] * (64 - len(rules)))
+    if "class6_map" in state.regions:
+        state.load_region("class6_map", [(i * 5 + 2) & 0x7 for i in range(64)])
+
+
+def _traffic(count: int, seed: int, **kwargs) -> TrafficGenerator:
+    config = TrafficConfig(seed=seed, count=count, **kwargs)
+    return TrafficGenerator(config, ipv4_prefixes=IPV4_PREFIXES,
+                            ipv6_prefixes=IPV6_PREFIXES)
+
+
+def _adopt_stream(state: MachineState, packets: list[bytes],
+                  pipe: str) -> None:
+    for index, data in enumerate(packets):
+        handle = state.packets.adopt(data, meta={
+            META_LEN: len(data),
+            META_IN_PORT: 0,
+            META_SEQ: index + 1,
+        })
+        state.pipe(pipe).send(handle)
+
+
+def build_app(name: str, *, packets: int = 200, seed: int = 7) -> AppInstance:
+    """Build one benchmark PPS by name.
+
+    Names: ``rx``, ``ipv4``, ``ip_v4``, ``ip_v6``, ``scheduler``, ``qm``,
+    ``tx``.
+    """
+    if name == "rx":
+        source = rx_source()
+        module = _compile(source)
+
+        def setup(state: MachineState) -> int:
+            stream = _traffic(packets, seed).ipv4_stream()
+            for data in stream:
+                state.devices.feed_packet(0, data)
+            return len(stream)
+
+        return AppInstance(name, "rx", source, module, setup,
+                           "packet receive / reassembly")
+
+    if name == "ipv4":
+        source = ipv4_source()
+        module = _compile(source)
+
+        def setup(state: MachineState) -> int:
+            _load_common_tables(state)
+            stream = _traffic(packets, seed).ipv4_stream()
+            _adopt_stream(state, stream, "ipv4_in")
+            return len(stream)
+
+        return AppInstance(name, "ipv4", source, module, setup,
+                           "IPv4 forwarding (NPF IPv4 benchmark)")
+
+    if name in ("ip_v4", "ip_v6"):
+        source = ip_source()
+        module = _compile(source)
+        use_v6 = name.endswith("v6")
+
+        def setup(state: MachineState) -> int:
+            _load_common_tables(state)
+            generator = _traffic(packets, seed)
+            stream = (generator.ipv6_stream() if use_v6
+                      else generator.ipv4_stream())
+            _adopt_stream(state, stream, "ip_in")
+            return len(stream)
+
+        def setup_v4(state: MachineState) -> int:
+            _load_common_tables(state)
+            stream = _traffic(packets, seed).ipv4_stream()
+            _adopt_stream(state, stream, "ip_in")
+            return len(stream)
+
+        def setup_v6(state: MachineState) -> int:
+            _load_common_tables(state)
+            stream = _traffic(packets, seed).ipv6_stream()
+            _adopt_stream(state, stream, "ip_in")
+            return len(stream)
+
+        traffic_kind = "IPv6" if use_v6 else "IPv4"
+        return AppInstance(name, "ip", source, module, setup,
+                           f"IP forwarding, {traffic_kind} traffic",
+                           profile_setups=[setup_v4, setup_v6])
+
+    if name == "scheduler":
+        source = scheduler_source()
+        module = _compile(source)
+
+        def setup(state: MachineState) -> int:
+            state.load_region("sched_weights", [4, 2, 1, 1])
+            state.load_region("qlen", [packets // 2, packets // 4,
+                                       packets // 8, packets // 8])
+            state.load_region("sched_state", [0, 4, 0, 0, 0, 0])
+            return packets
+
+        return AppInstance(name, "scheduler", source, module, setup,
+                           "WRR scheduler (shared flow state)")
+
+    if name == "qm":
+        source = qm_source()
+        module = _compile(source)
+
+        def setup(state: MachineState) -> int:
+            _load_common_tables(state)
+            stream = _traffic(packets, seed).ipv4_stream()
+            _adopt_stream(state, stream, "qm_enq")
+            for index in range(packets // 2):
+                state.pipe("qm_deq").send(index % qm_mod.N_QUEUES)
+            return packets + packets // 2
+
+        return AppInstance(name, "qm", source, module, setup,
+                           "queue manager (shared flow state)")
+
+    if name == "tx":
+        source = tx_source()
+        module = _compile(source)
+
+        def setup(state: MachineState) -> int:
+            stream = _traffic(packets, seed).ipv4_stream()
+            for index, data in enumerate(stream):
+                handle = state.packets.adopt(data, meta={
+                    META_LEN: len(data),
+                    META_OUT_PORT: index % 4,
+                    META_SEQ: index + 1,
+                })
+                state.pipe("tx_in").send(handle)
+            return len(stream)
+
+        return AppInstance(name, "tx", source, module, setup,
+                           "packet transmit / segmentation")
+
+    raise ValueError(f"unknown app {name!r}")
+
+
+#: All PPSes of the two benchmarks, in paper order.
+IPV4_FORWARDING_PPSES = ["rx", "ipv4", "scheduler", "qm", "tx"]
+IP_FORWARDING_PPSES = ["rx", "ip_v4", "ip_v6", "tx"]
+
+
+def full_ipv4_source() -> str:
+    """The whole IPv4 forwarding application (five chained PPSes)."""
+    return combine_sources(
+        rx_source(out_pipe="rx2ip"),
+        ipv4_source(in_pipe="rx2ip", out_pipe="qm_enq"),
+        scheduler_source(out_pipe="qm_deq"),
+        qm_source(enq_pipe="qm_enq", deq_pipe="qm_deq", out_pipe="tx_in",
+                  declare_qlen=False),
+        tx_source(in_pipe="tx_in"),
+    )
+
+
+def full_ip_source() -> str:
+    """The whole IP forwarding application (paper Figure 18b):
+    RX -> IP (v4 + v6 paths) -> TX."""
+    return combine_sources(
+        rx_source(out_pipe="rx2ip"),
+        ip_source(in_pipe="rx2ip", out_pipe="tx_in"),
+        tx_source(in_pipe="tx_in"),
+    )

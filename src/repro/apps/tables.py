@@ -1,0 +1,229 @@
+"""Route table construction (host side).
+
+The forwarding PPSes look routes up in multibit tries stored in readonly
+memory regions:
+
+* **IPv4**: a 16-8-8 trie.  Level 1 is a 65536-entry array indexed by the
+  top 16 destination bits; levels 2 and 3 are 256-entry blocks allocated
+  from the ``rt_nodes`` region.
+* **IPv6**: an 8-bit-stride trie over the top 64 bits of the destination,
+  blocks allocated from ``rt6_nodes`` (block 0 is the root).
+
+Entry encoding (one 32-bit word)::
+
+    bit 24          leaf flag
+    bit 25          pointer flag
+    bits 16-23      output port          (leaf)
+    bits 0-15       next-hop id          (leaf)
+    bits 0-15       child block index    (pointer)
+
+A zero entry means "no route".  Prefixes are installed with standard
+prefix expansion; longer prefixes overwrite the expanded entries of
+shorter ones, preserving longest-prefix-match semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LEAF_FLAG = 1 << 24
+POINTER_FLAG = 1 << 25
+PORT_SHIFT = 16
+PORT_MASK = 0xFF
+NEXTHOP_MASK = 0xFFFF
+
+IPV4_L1_SIZE = 1 << 16
+BLOCK_SIZE = 256
+
+
+def leaf_entry(port: int, next_hop: int) -> int:
+    return LEAF_FLAG | ((port & PORT_MASK) << PORT_SHIFT) | (next_hop & NEXTHOP_MASK)
+
+
+def pointer_entry(block_index: int) -> int:
+    return POINTER_FLAG | (block_index & 0xFFFF)
+
+
+@dataclass
+class _Node:
+    """One in-construction trie block (only as wide as its stride).
+
+    ``lens`` records the prefix length that produced each expanded entry,
+    so a shorter prefix inserted later never clobbers a longer one
+    (longest-prefix-match is insertion-order independent).
+    """
+
+    width: int
+    entries: list = field(default=None)  # type: ignore[assignment]
+    lens: list = field(default=None)  # type: ignore[assignment]
+    children: dict[int, "_Node"] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.entries is None:
+            self.entries = [0] * self.width
+        if self.lens is None:
+            self.lens = [0] * self.width
+
+
+class _Trie:
+    """A multibit trie with arbitrary per-level strides."""
+
+    def __init__(self, strides: list[int]):
+        self.strides = strides
+        self.root = _Node(1 << strides[0])
+
+    def insert(self, prefix: int, plen: int, value: int, total_bits: int) -> None:
+        """Install ``prefix/plen`` mapping to ``value`` (a leaf entry)."""
+        if not 0 < plen <= total_bits:
+            raise ValueError(f"bad prefix length {plen}")
+        node = self.root
+        consumed = 0
+        for level, stride in enumerate(self.strides):
+            remaining = plen - consumed
+            shift = total_bits - consumed - stride
+            index_bits = (prefix >> shift) & ((1 << stride) - 1)
+            if remaining <= stride:
+                # Expand into this level.
+                span = 1 << (stride - remaining)
+                base = (index_bits >> (stride - remaining)) << (stride - remaining)
+                for offset in range(span):
+                    slot = base + offset
+                    child = node.children.get(slot)
+                    if child is not None:
+                        # More-specific routes live below; fill their holes.
+                        _fill_default(child, value, plen)
+                    elif plen >= node.lens[slot]:
+                        node.entries[slot] = value
+                        node.lens[slot] = plen
+                return
+            child = node.children.get(index_bits)
+            if child is None:
+                if level + 1 >= len(self.strides):
+                    raise ValueError(f"prefix length {plen} too long for trie")
+                child = _Node(1 << self.strides[level + 1])
+                # Push any existing leaf down as the child's default.
+                existing = node.entries[index_bits]
+                if existing:
+                    child.entries = [existing] * child.width
+                    child.lens = [node.lens[index_bits]] * child.width
+                node.children[index_bits] = child
+            node = child
+            consumed += stride
+        raise AssertionError("unreachable")
+
+
+def _fill_default(node: _Node, value: int, plen: int) -> None:
+    for index in range(node.width):
+        child = node.children.get(index)
+        if child is not None:
+            _fill_default(child, value, plen)
+        elif plen >= node.lens[index]:
+            node.entries[index] = value
+            node.lens[index] = plen
+
+
+def _flatten(trie: _Trie, block_region: list[int]) -> list[int]:
+    """Serialize child blocks into ``block_region``; return the root level."""
+
+    def serialize(node: _Node) -> None:
+        for index in sorted(node.children):
+            child = node.children[index]
+            serialize(child)
+            block_index = len(block_region) // BLOCK_SIZE
+            block = list(child.entries)
+            # Children of the child were already serialized and patched.
+            block_region.extend(block + [0] * (BLOCK_SIZE - len(block)))
+            node.entries[index] = pointer_entry(block_index)
+
+    # Serialize bottom-up: recursion above already does (children first).
+    serialize(trie.root)
+    return list(trie.root.entries)
+
+
+class Ipv4RouteTable:
+    """Builds the ``rt_l1`` / ``rt_nodes`` regions for the IPv4 trie."""
+
+    STRIDES = [16, 8, 8]
+
+    def __init__(self):
+        self._trie = _Trie(self.STRIDES)
+        self.routes: list[tuple[int, int, int, int]] = []
+
+    def add_route(self, prefix: int, plen: int, port: int, next_hop: int) -> None:
+        value = leaf_entry(port, next_hop)
+        self._trie.insert(prefix & 0xFFFFFFFF, plen, value, 32)
+        self.routes.append((prefix, plen, port, next_hop))
+
+    def build(self) -> tuple[list[int], list[int]]:
+        """Returns ``(rt_l1, rt_nodes)`` region contents."""
+        nodes: list[int] = [0] * BLOCK_SIZE  # block 0 reserved (null pointer)
+        level1 = _flatten(self._trie, nodes)
+        return level1, nodes
+
+    def lookup(self, address: int) -> tuple[int, int] | None:
+        """Host-side reference lookup -> (port, next_hop) or None."""
+        level1, nodes = self.build()
+        entry = level1[(address >> 16) & 0xFFFF]
+        for shift in (8, 0):
+            if entry & LEAF_FLAG:
+                break
+            if not entry & POINTER_FLAG:
+                return None
+            block = (entry & 0xFFFF) * BLOCK_SIZE
+            entry = nodes[block + ((address >> shift) & 0xFF)]
+        if not entry & LEAF_FLAG:
+            return None
+        return (entry >> PORT_SHIFT) & PORT_MASK, entry & NEXTHOP_MASK
+
+
+class Ipv6RouteTable:
+    """Builds the ``rt6_nodes`` region: an 8-bit-stride trie over the top
+    64 bits of the IPv6 destination.  Block 0 is the root."""
+
+    STRIDES = [8] * 8
+
+    def __init__(self):
+        self._trie = _Trie(self.STRIDES)
+        self.routes: list[tuple[int, int, int, int]] = []
+
+    def add_route(self, prefix_top64: int, plen: int, port: int,
+                  next_hop: int) -> None:
+        if plen > 64:
+            raise ValueError("IPv6 routes beyond /64 are not supported")
+        value = leaf_entry(port, next_hop)
+        self._trie.insert(prefix_top64 & ((1 << 64) - 1), plen, value, 64)
+        self.routes.append((prefix_top64, plen, port, next_hop))
+
+    def build(self) -> list[int]:
+        nodes: list[int] = []
+        # Root must be block 0: reserve it, serialize children after it.
+        root_placeholder = [0] * BLOCK_SIZE
+        nodes.extend(root_placeholder)
+        children: list[int] = []
+        level_root = _flatten(self._trie, children)
+        # Child block indices were assigned relative to `children`; they
+        # must be shifted by 1 (the root block).
+        shifted = [_shift_pointer(entry, 1) for entry in children]
+        root = [_shift_pointer(entry, 1) for entry in level_root]
+        nodes[0:BLOCK_SIZE] = root + [0] * (BLOCK_SIZE - len(root))
+        nodes.extend(shifted)
+        return nodes
+
+    def lookup(self, address_top64: int) -> tuple[int, int] | None:
+        nodes = self.build()
+        block = 0
+        for level in range(8):
+            shift = 64 - 8 * (level + 1)
+            entry = nodes[block * BLOCK_SIZE + ((address_top64 >> shift) & 0xFF)]
+            if entry & LEAF_FLAG:
+                return (entry >> PORT_SHIFT) & PORT_MASK, entry & NEXTHOP_MASK
+            if not entry & POINTER_FLAG:
+                return None
+            block = entry & 0xFFFF
+        return None
+
+
+def _shift_pointer(entry: int, delta: int) -> int:
+    if entry & POINTER_FLAG:
+        return POINTER_FLAG | ((entry & 0xFFFF) + delta)
+    return entry

@@ -1,0 +1,79 @@
+"""The packet transmit (TX) PPS.
+
+Segments outbound packets into mpackets and commits them to the media
+interface.  The minimum-size path (one 48-byte mpacket) is fully unrolled;
+frames up to two mpackets are handled with a second, guarded segment, and
+anything larger is counted and dropped (slow path, out of the fast-path
+model).  Commit order is wire order, so the two ``tbuf_commit`` sites sit
+adjacent at the end of the iteration.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import (
+    META_LEN,
+    META_OUT_PORT,
+    META_SEQ,
+    MAX_PACKET_BYTES,
+    MIN_PACKET_BYTES,
+    TAG_TX,
+    TAG_TX_ERR,
+    unrolled_copy_pkt_to_tbuf,
+)
+
+_MPACKET = 64
+
+
+def tx_source(in_pipe: str = "tx_in") -> str:
+    """PPS-C source of the TX PPS consuming from ``in_pipe``."""
+    copy_fast = unrolled_copy_pkt_to_tbuf("t1", "h", MIN_PACKET_BYTES)
+    return f"""
+pipe {in_pipe};
+
+pps tx {{
+    for (;;) {{
+        int h = pipe_recv({in_pipe});
+        int len = pkt_meta_get(h, {META_LEN});
+        int port = pkt_meta_get(h, {META_OUT_PORT});
+        int seq = pkt_meta_get(h, {META_SEQ});
+        if (len < {MIN_PACKET_BYTES} || len > {MAX_PACKET_BYTES}) {{
+            pkt_free(h);
+            trace({TAG_TX_ERR}, len);
+            continue;
+        }}
+        int first_len = len;
+        if (first_len > {_MPACKET}) {{
+            first_len = {_MPACKET};
+        }}
+        int t1 = tbuf_alloc(port);
+        // Minimum-size frame: fully unrolled copy.
+{copy_fast}
+        if (first_len > {MIN_PACKET_BYTES}) {{
+            for (int i = {MIN_PACKET_BYTES}; i < first_len; i++) {{
+                tbuf_store(t1, i, pkt_load(h, i));
+            }}
+        }}
+        int t2 = 0;
+        int rest = len - first_len;
+        if (rest > 0) {{
+            t2 = tbuf_alloc(port);
+            for (int j = 0; j < rest; j++) {{
+                tbuf_store(t2, j, pkt_load(h, {_MPACKET} + j));
+            }}
+        }}
+        // Status words: sop | eop<<1 | port<<2 | len<<8.
+        int eop1 = 2;
+        if (rest > 0) {{
+            eop1 = 0;
+        }}
+        int status1 = 1 | eop1 | ((port & 0x3F) << 2) | (first_len << 8);
+        tbuf_commit(t1, status1);
+        if (rest > 0) {{
+            int status2 = 2 | ((port & 0x3F) << 2) | (rest << 8);
+            tbuf_commit(t2, status2);
+        }}
+        pkt_free(h);
+        trace({TAG_TX}, seq);
+    }}
+}}
+"""

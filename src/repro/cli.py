@@ -1,0 +1,258 @@
+"""Command-line interface: compile, partition, run, and report.
+
+Usage (also via ``python -m repro``)::
+
+    repro check file.ppc                     # compile + semantic check
+    repro ir file.ppc [--pps NAME]           # dump the lowered, inlined IR
+    repro pipeline file.ppc --pps NAME -d 4  # partition; print stage map
+    repro run file.ppc --pps NAME -d 4 \\
+        --feed in_q=1,2,3 --iterations 3     # execute on the simulator
+    repro figures [--packets 60]             # regenerate the paper figures
+
+PPS-C files conventionally use the ``.ppc`` extension.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ir.function import Module
+from repro.ir.inline import inline_module
+from repro.ir.lowering import lower_program
+from repro.ir.optimize import optimize_module
+from repro.ir.printer import format_function, format_module
+from repro.lang import FrontendError, compile_source
+from repro.machine.costs import NN_RING, SCRATCH_RING, SRAM_RING
+from repro.pipeline.liveset import Strategy
+from repro.pipeline.transform import PipelineError, pipeline_pps
+from repro.runtime.equivalence import assert_equivalent, observe
+from repro.runtime.scheduler import run_pipeline, run_sequential
+from repro.runtime.state import MachineState
+
+_COST_MODELS = {
+    "nn": NN_RING,
+    "scratch": SCRATCH_RING,
+    "sram": SRAM_RING,
+}
+
+
+def _load_module(path: str, *, optimize: bool = True) -> Module:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    module = lower_program(compile_source(source, path), path)
+    inline_module(module)
+    if optimize:
+        optimize_module(module)
+    return module
+
+
+def _resolve_pps(module: Module, name: str | None) -> str:
+    if name is not None:
+        if name not in module.ppses:
+            raise SystemExit(f"error: no pps named {name!r} "
+                             f"(available: {', '.join(module.ppses)})")
+        return name
+    if len(module.ppses) == 1:
+        return next(iter(module.ppses))
+    raise SystemExit(f"error: choose one of the PPSes with --pps: "
+                     f"{', '.join(module.ppses)}")
+
+
+def _parse_feed(specs: list[str]) -> dict[str, list[int]]:
+    feeds: dict[str, list[int]] = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise SystemExit(f"error: --feed expects pipe=v1,v2,... "
+                             f"(got {spec!r})")
+        pipe, _, values = spec.partition("=")
+        try:
+            feeds[pipe] = [int(v, 0) for v in values.split(",") if v]
+        except ValueError as exc:
+            raise SystemExit(f"error: bad feed value in {spec!r}: {exc}")
+    return feeds
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def cmd_check(args) -> int:
+    module = _load_module(args.file)
+    blocks = sum(len(p.blocks) for p in module.ppses.values())
+    print(f"{args.file}: OK — {len(module.ppses)} pps, "
+          f"{len(module.pipes)} pipes, {len(module.regions)} memories, "
+          f"{blocks} basic blocks after inlining")
+    return 0
+
+
+def cmd_ir(args) -> int:
+    module = _load_module(args.file, optimize=not args.no_optimize)
+    if args.pps:
+        print(format_function(module.pps(_resolve_pps(module, args.pps))))
+    else:
+        print(format_module(module))
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    module = _load_module(args.file)
+    pps_name = _resolve_pps(module, args.pps)
+    result = pipeline_pps(
+        module, pps_name, args.degree,
+        costs=_COST_MODELS[args.ring],
+        epsilon=args.epsilon,
+        strategy=Strategy(args.strategy),
+    )
+    print(f"{pps_name}: {args.degree} stages over {args.ring} rings "
+          f"(epsilon={args.epsilon}, {args.strategy} transmission)")
+    weights = result.assignment.stage_weights(result.model)
+    for stage in result.stages:
+        layout = (result.layouts[stage.index - 1]
+                  if stage.index <= len(result.layouts) else None)
+        message = (f"-> {layout.words(result.strategy)} words"
+                   if layout else "(last stage)")
+        print(f"  stage {stage.index}: weight={weights[stage.index]:5d} "
+              f"blocks={len(stage.local_blocks):3d} {message}")
+    for diag in result.assignment.diagnostics:
+        print(f"  cut {diag.stage}: target={diag.target:.1f} "
+              f"got={diag.weight} cost={diag.cut_value} "
+              f"balanced={diag.balanced}")
+    if args.emit:
+        for stage in result.stages:
+            print()
+            print(format_function(stage.function))
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _load_module(args.file)
+    pps_name = _resolve_pps(module, args.pps)
+    feeds = _parse_feed(args.feed or [])
+
+    def fresh() -> MachineState:
+        state = MachineState(module)
+        for pipe, values in feeds.items():
+            state.feed_pipe(pipe, values)
+        return state
+
+    iterations = args.iterations
+    sequential = fresh()
+    stats = run_sequential(module.pps(pps_name), sequential,
+                           iterations=iterations)
+    print(f"sequential: {stats.iterations - 1} iterations, "
+          f"{stats.weight} weighted instructions")
+
+    if args.degree > 1:
+        result = pipeline_pps(module, pps_name, args.degree)
+        pipelined = fresh()
+        run = run_pipeline(result.stages, pipelined, iterations=iterations)
+        assert_equivalent(observe(sequential), observe(pipelined))
+        longest = max(s.weight for s in run.stats.values())
+        print(f"pipelined x{args.degree}: longest stage {longest} "
+              f"weighted instructions; observationally equivalent ✔")
+        state = pipelined
+    else:
+        state = sequential
+
+    for name, pipe in sorted(state.pipes.items()):
+        if pipe.queue and ".xfer" not in name:
+            print(f"pipe {name}: {list(pipe.queue)}")
+    for tag, events in sorted(state.traces.items()):
+        print(f"trace[{tag}]: {events}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.eval.experiments import (
+        ExperimentConfig,
+        figure19,
+        figure20,
+        figure21,
+        figure22,
+        headline_speedups,
+    )
+    from repro.eval.report import render_figure
+
+    config = ExperimentConfig(packets=args.packets)
+    print(render_figure("Figure 19: speedup, IPv4 forwarding PPSes",
+                        figure19(config)))
+    print()
+    print(render_figure("Figure 20: speedup, IP forwarding PPSes",
+                        figure20(config)))
+    print()
+    print(render_figure("Figure 21: live-set overhead, IPv4 forwarding",
+                        figure21(config), value_format="{:6.3f}"))
+    print()
+    print(render_figure("Figure 22: live-set overhead, IP forwarding",
+                        figure22(config), value_format="{:6.3f}"))
+    print()
+    print("Headline (9-stage pipeline):")
+    for name, value in headline_speedups(config).items():
+        print(f"  {name:8s} {value:5.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-pipelining compiler for packet processing "
+                    "applications (PLDI 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="compile and semantic-check")
+    p_check.add_argument("file")
+    p_check.set_defaults(func=cmd_check)
+
+    p_ir = sub.add_parser("ir", help="dump the lowered, inlined IR")
+    p_ir.add_argument("file")
+    p_ir.add_argument("--pps")
+    p_ir.add_argument("--no-optimize", action="store_true")
+    p_ir.set_defaults(func=cmd_ir)
+
+    p_pipe = sub.add_parser("pipeline", help="partition a PPS into stages")
+    p_pipe.add_argument("file")
+    p_pipe.add_argument("--pps")
+    p_pipe.add_argument("-d", "--degree", type=int, default=2)
+    p_pipe.add_argument("--ring", choices=sorted(_COST_MODELS), default="nn")
+    p_pipe.add_argument("--epsilon", type=float, default=1.0 / 16.0)
+    p_pipe.add_argument("--strategy", default="packed",
+                        choices=[s.value for s in Strategy])
+    p_pipe.add_argument("--emit", action="store_true",
+                        help="print the realized stage IR")
+    p_pipe.set_defaults(func=cmd_pipeline)
+
+    p_run = sub.add_parser("run", help="execute on the simulator")
+    p_run.add_argument("file")
+    p_run.add_argument("--pps")
+    p_run.add_argument("-d", "--degree", type=int, default=1)
+    p_run.add_argument("--iterations", type=int, default=10)
+    p_run.add_argument("--feed", action="append",
+                       help="pipe=v1,v2,... (repeatable)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
+    p_fig.add_argument("--packets", type=int, default=60)
+    p_fig.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FrontendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Evaluation harness: metrics, experiments (paper figures), reports."""
+
+from repro.eval.metrics import (
+    PipelineMeasurement,
+    SequentialMeasurement,
+    measure_pipeline,
+    measure_sequential,
+)
+from repro.eval.experiments import (
+    app_statistics,
+    figure19,
+    figure20,
+    figure21,
+    figure22,
+    headline_speedups,
+    speedup_series,
+)
+from repro.eval.report import format_series_table, render_figure
+
+__all__ = [
+    "PipelineMeasurement",
+    "SequentialMeasurement",
+    "app_statistics",
+    "figure19",
+    "figure20",
+    "figure21",
+    "figure22",
+    "format_series_table",
+    "headline_speedups",
+    "measure_pipeline",
+    "measure_sequential",
+    "render_figure",
+    "speedup_series",
+]

@@ -1,0 +1,165 @@
+"""Whole-application engine allocation (paper §2.2).
+
+"The auto-partitioning C compiler automatically explores how (e.g.,
+pipelining vs. multiprocessing) each PPS is paralleled and how many PEs
+... each PPS is mapped onto, and selects one compilation result based on
+a static evaluation of the performance and the performance requirements
+of the application."
+
+The paper scopes that exploration out of its §3 algorithm; this module
+implements a straightforward instance of it on top of the measured
+per-PPS curves: a greedy marginal-gain allocator that hands engines, one
+at a time, to whichever PPS currently bottlenecks the application, trying
+both parallelization modes (pipelining and synchronized replication) for
+every PPS at every engine count.
+
+The application's throughput cost is the *maximum* per-packet cost over
+its PPSes (a chain is as fast as its slowest member), so giving an engine
+to anything but the bottleneck is wasted — which is exactly what greedy
+marginal gain captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.suite import build_app
+from repro.eval.metrics import (
+    SequentialMeasurement,
+    measure_pipeline,
+    measure_replication,
+    measure_sequential,
+)
+
+
+@dataclass
+class PpsOption:
+    """One (mode, engines) configuration of one PPS."""
+
+    pps: str
+    mode: str          # "pipeline" | "replicate"
+    engines: int
+    cost: float        # per-packet cost of the bottleneck engine
+
+    @property
+    def label(self) -> str:
+        if self.engines == 1:
+            return "sequential"
+        return f"{self.mode} x{self.engines}"
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of a whole-application engine allocation."""
+
+    total_engines: int
+    chosen: dict[str, PpsOption]
+    application_cost: float          # max per-packet cost over PPSes
+    sequential_cost: float           # max per-packet cost at 1 engine each
+    history: list[tuple[str, int, float]] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        if not self.application_cost:
+            return float("inf")
+        return self.sequential_cost / self.application_cost
+
+    def engines_used(self) -> int:
+        return sum(option.engines for option in self.chosen.values())
+
+
+class CostCurves:
+    """Lazily measured per-PPS cost curves over both modes."""
+
+    def __init__(self, pps_names: list[str], *, packets: int = 48,
+                 max_engines_per_pps: int = 10):
+        self.packets = packets
+        self.max_engines = max_engines_per_pps
+        self._apps = {name: build_app(name, packets=packets)
+                      for name in pps_names}
+        self._baselines: dict[str, SequentialMeasurement] = {}
+        self._cache: dict[tuple[str, str, int], float] = {}
+
+    def baseline(self, pps: str) -> SequentialMeasurement:
+        if pps not in self._baselines:
+            self._baselines[pps] = measure_sequential(self._apps[pps])
+        return self._baselines[pps]
+
+    def cost(self, pps: str, mode: str, engines: int) -> float:
+        """Per-packet cost of the bottleneck engine for one option."""
+        key = (pps, mode, engines)
+        if key in self._cache:
+            return self._cache[key]
+        baseline = self.baseline(pps)
+        if engines == 1:
+            value = baseline.per_packet
+        elif mode == "pipeline":
+            value = measure_pipeline(self._apps[pps], engines,
+                                     baseline=baseline).longest_stage
+        elif mode == "replicate":
+            value = measure_replication(self._apps[pps], engines,
+                                        baseline=baseline).effective
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        self._cache[key] = value
+        return value
+
+    def best_option(self, pps: str, engines: int) -> PpsOption:
+        """The cheaper of the two modes at a given engine count."""
+        if engines == 1:
+            return PpsOption(pps, "sequential", 1, self.cost(pps, "pipeline", 1))
+        candidates = [
+            PpsOption(pps, mode, engines, self.cost(pps, mode, engines))
+            for mode in ("pipeline", "replicate")
+        ]
+        return min(candidates, key=lambda option: option.cost)
+
+
+def allocate_engines(pps_names: list[str], total_engines: int, *,
+                     curves: CostCurves | None = None,
+                     packets: int = 48) -> AllocationResult:
+    """Greedy marginal-gain allocation of ``total_engines`` engines.
+
+    Every PPS starts with one engine; each remaining engine goes to the
+    PPS whose upgrade most reduces the application bottleneck (ties to
+    the currently slowest PPS).
+    """
+    if total_engines < len(pps_names):
+        raise ValueError(
+            f"need at least {len(pps_names)} engines for {len(pps_names)} PPSes"
+        )
+    curves = curves or CostCurves(pps_names, packets=packets)
+    engines = {name: 1 for name in pps_names}
+    chosen = {name: curves.best_option(name, 1) for name in pps_names}
+    sequential_cost = max(option.cost for option in chosen.values())
+    history: list[tuple[str, int, float]] = []
+
+    for _ in range(total_engines - len(pps_names)):
+        bottleneck_cost = max(option.cost for option in chosen.values())
+        best_name = None
+        best_option = None
+        best_new_cost = bottleneck_cost
+        for name in pps_names:
+            if engines[name] >= curves.max_engines:
+                continue
+            upgraded = curves.best_option(name, engines[name] + 1)
+            trial = dict(chosen)
+            trial[name] = upgraded
+            new_cost = max(option.cost for option in trial.values())
+            if new_cost < best_new_cost - 1e-9:
+                best_new_cost = new_cost
+                best_name = name
+                best_option = upgraded
+        if best_name is None:
+            break  # no upgrade reduces the bottleneck: stop spending
+        engines[best_name] += 1
+        chosen[best_name] = best_option
+        history.append((best_name, engines[best_name], best_new_cost))
+
+    return AllocationResult(
+        total_engines=total_engines,
+        chosen=chosen,
+        application_cost=max(option.cost for option in chosen.values()),
+        sequential_cost=sequential_cost,
+        history=history,
+    )

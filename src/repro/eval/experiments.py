@@ -1,0 +1,139 @@
+"""Regeneration of the paper's evaluation figures (paper §4).
+
+* Figure 19 — speedup vs pipelining degree, IPv4 forwarding PPSes
+  (RX, IPv4, Scheduler, QM, TX);
+* Figure 20 — speedup vs degree, IP forwarding PPSes (RX, IP with IPv4
+  traffic, IP with IPv6 traffic, TX);
+* Figure 21 — live-set transmission overhead vs degree, IPv4 forwarding;
+* Figure 22 — live-set transmission overhead vs degree, IP forwarding;
+* the §4 headline: ">4X speedup at 9 stages" for the IPv4 and IP PPSes;
+* the Figure 18 application statistics (code size / blocks / routines /
+  loops of each PPS).
+
+Each function returns ``{series_name: {degree: value}}`` so the report
+layer and the benchmarks print the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import cfg_of, find_pps_loop
+from repro.analysis.graph import Digraph, strongly_connected_components
+from repro.apps.suite import build_app
+from repro.eval.metrics import measure_pipeline, measure_sequential
+from repro.machine.costs import NN_RING, CostModel
+from repro.pipeline.liveset import Strategy
+
+DEGREES = list(range(1, 11))
+
+#: Series of the two benchmark figures (paper order).
+FIGURE19_APPS = ["rx", "ipv4", "scheduler", "qm", "tx"]
+FIGURE20_APPS = ["rx", "ip_v4", "ip_v6", "tx"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared knobs for figure regeneration."""
+
+    packets: int = 120
+    seed: int = 7
+    degrees: list[int] = None
+    costs: CostModel = NN_RING
+    strategy: Strategy = Strategy.PACKED
+    check_equivalence: bool = True
+
+    def __post_init__(self):
+        if self.degrees is None:
+            self.degrees = list(DEGREES)
+
+
+def speedup_series(app_name: str, config: ExperimentConfig | None = None,
+                   *, metric: str = "speedup") -> dict[int, float]:
+    """``{degree: value}`` for one PPS; metric is ``speedup`` or
+    ``overhead`` (the Figures 21/22 ratio)."""
+    config = config or ExperimentConfig()
+    app = build_app(app_name, packets=config.packets, seed=config.seed)
+    baseline = measure_sequential(app)
+    series: dict[int, float] = {}
+    for degree in config.degrees:
+        measurement = measure_pipeline(
+            app, degree, baseline=baseline, costs=config.costs,
+            strategy=config.strategy,
+            check_equivalence=config.check_equivalence,
+        )
+        if metric == "speedup":
+            series[degree] = measurement.speedup
+        elif metric == "overhead":
+            series[degree] = measurement.overhead_ratio
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+    return series
+
+
+def _figure(apps: list[str], metric: str,
+            config: ExperimentConfig | None = None) -> dict[str, dict[int, float]]:
+    config = config or ExperimentConfig()
+    return {name: speedup_series(name, config, metric=metric) for name in apps}
+
+
+def figure19(config: ExperimentConfig | None = None) -> dict[str, dict[int, float]]:
+    """Speedup vs degree for the IPv4 forwarding PPSes."""
+    return _figure(FIGURE19_APPS, "speedup", config)
+
+
+def figure20(config: ExperimentConfig | None = None) -> dict[str, dict[int, float]]:
+    """Speedup vs degree for the IP forwarding PPSes."""
+    return _figure(FIGURE20_APPS, "speedup", config)
+
+
+def figure21(config: ExperimentConfig | None = None) -> dict[str, dict[int, float]]:
+    """Live-set transmission overhead vs degree, IPv4 forwarding."""
+    return _figure(FIGURE19_APPS, "overhead", config)
+
+
+def figure22(config: ExperimentConfig | None = None) -> dict[str, dict[int, float]]:
+    """Live-set transmission overhead vs degree, IP forwarding."""
+    return _figure(FIGURE20_APPS, "overhead", config)
+
+
+def headline_speedups(config: ExperimentConfig | None = None) -> dict[str, float]:
+    """The paper's headline: speedup at a 9-stage pipeline for the IPv4
+    forwarding PPS and the IP forwarding PPS (both traffics)."""
+    config = config or ExperimentConfig(degrees=[9])
+    result = {}
+    for name in ("ipv4", "ip_v4", "ip_v6"):
+        series = speedup_series(name, ExperimentConfig(
+            packets=config.packets, seed=config.seed, degrees=[9],
+            costs=config.costs, strategy=config.strategy,
+            check_equivalence=config.check_equivalence,
+        ))
+        result[name] = series[9]
+    return result
+
+
+def app_statistics(app_names: list[str] | None = None) -> dict[str, dict[str, int]]:
+    """Structural statistics of each PPS (the paper's Figure 18 text:
+    "~10K lines of codes, >600 basic blocks, ~100 routines, >20 loops")."""
+    names = app_names or ["rx", "ipv4", "ip_v4", "scheduler", "qm", "tx"]
+    stats: dict[str, dict[str, int]] = {}
+    for name in names:
+        app = build_app(name, packets=8)
+        pps = app.module.pps(app.pps_name)
+        graph = cfg_of(pps)
+        loops = sum(
+            1 for component in strongly_connected_components(graph)
+            if len(component) > 1
+        )
+        loop = find_pps_loop(pps)
+        stats[name] = {
+            "source_lines": len([line for line in app.source.splitlines()
+                                 if line.strip()]),
+            "basic_blocks": len(pps.blocks),
+            "body_blocks": len(loop.body),
+            "instructions": sum(len(b.all_instructions())
+                                for b in pps.ordered_blocks()),
+            "static_weight": pps.weight(),
+            "inner_loops": loops,
+        }
+    return stats

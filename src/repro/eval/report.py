@@ -1,0 +1,27 @@
+"""Plain-text rendering of regenerated figures."""
+
+from __future__ import annotations
+
+
+def format_series_table(series: dict[str, dict[int, float]], *,
+                        value_format: str = "{:6.2f}") -> str:
+    """Render ``{series: {degree: value}}`` as an aligned text table."""
+    degrees = sorted({degree for values in series.values() for degree in values})
+    name_width = max((len(name) for name in series), default=4)
+    header = " " * name_width + " | " + " ".join(f"d={d:<5d}" for d in degrees)
+    rows = [header, "-" * len(header)]
+    for name, values in series.items():
+        cells = []
+        for degree in degrees:
+            if degree in values:
+                cells.append(value_format.format(values[degree]))
+            else:
+                cells.append(" " * 6)
+        rows.append(f"{name:<{name_width}} | " + " ".join(f"{c:<7s}" for c in cells))
+    return "\n".join(rows)
+
+
+def render_figure(title: str, series: dict[str, dict[int, float]], *,
+                  value_format: str = "{:6.2f}") -> str:
+    """A titled text block for one regenerated figure."""
+    return f"{title}\n{format_series_table(series, value_format=value_format)}"

@@ -1,0 +1,13 @@
+"""Flow networks, push-relabel max-flow, and balanced minimum cuts."""
+
+from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
+from repro.flownet.push_relabel import PushRelabel
+from repro.flownet.balanced_cut import BalancedCut, BalancedCutResult
+
+__all__ = [
+    "BalancedCut",
+    "BalancedCutResult",
+    "FlowNetwork",
+    "INFINITE_CAPACITY",
+    "PushRelabel",
+]

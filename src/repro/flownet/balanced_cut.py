@@ -1,0 +1,437 @@
+"""Balanced minimum cuts (paper §3.3, Figures 6 and 7).
+
+The heuristic is the iterative balanced push-relabel scheme adapted from
+Yang & Wong [13]: repeatedly compute a minimum cut; while the source side
+is lighter than the balance envelope, collapse the source side plus one
+cut-adjacent node into the source; while it is heavier, collapse the sink
+side plus one cut-adjacent node into the sink; recompute and repeat.
+
+Collapsing a node ``v`` into the source (sink) is realized by adding an
+infinite-capacity edge ``s -> v`` (``v -> t``), which is equivalent to node
+contraction for min-cut purposes but keeps the graph static, so the
+push-relabel solver can *warm-restart* from the existing preflow
+(``incremental=True`` — the paper's §3.3 incremental scheme, implemented
+with exact-distance relabeling so the labeling stays valid).
+
+The balance envelope is ``(1 ± ε) · target`` where ε is the balance
+variance (1/16 in the paper's product compiler).  When no cut lands in the
+envelope (e.g. one dependence SCC holds most of the weight — the paper's
+QM/Scheduler case), the feasible cut whose weight came closest is returned
+with ``balanced=False``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
+from repro.flownet.push_relabel import PushRelabel
+
+#: Capacity at or above this threshold is treated as uncuttable when
+#: preflighting collapse feasibility.
+_INF_THRESHOLD = INFINITE_CAPACITY // 2
+
+
+@dataclass
+class BalancedCutResult:
+    """Outcome of one balanced minimum cut.
+
+    ``source_side`` contains node *keys* (source/sink sentinels excluded).
+    ``cut_value`` is the capacity crossing the cut; ``balanced`` tells
+    whether the balance envelope was met (otherwise the closest feasible
+    cut is returned).
+    """
+
+    source_side: set[Hashable]
+    cut_value: int
+    balanced: bool
+    iterations: int = 0
+    target: float = 0.0
+    weight: int = 0
+    dim_weights: tuple = ()
+    dim_deviation: float = 0.0
+
+
+@dataclass
+class BalancedCut:
+    """Balanced min-cut driver over a :class:`FlowNetwork`.
+
+    Attributes:
+        epsilon: Balance variance ε ∈ [0, 1).
+        incremental: Warm-restart push-relabel after each collapse (the
+            paper's incremental scheme) instead of recomputing from scratch.
+        max_iterations: Safety bound on collapse rounds.
+    """
+
+    epsilon: float = 1.0 / 16.0
+    incremental: bool = True
+    max_iterations: int = 10_000
+    forceable: object = None  # predicate(key) -> bool; None = every node
+
+    def _is_forceable(self, network: FlowNetwork, node: int) -> bool:
+        """Only *program* nodes may be contracted into the source or sink.
+
+        Variable/control nodes carry ∞ edges to their consumers; forcing
+        one would wrongly pin every consumer to that side of the cut."""
+        if self.forceable is None:
+            return True
+        return bool(self.forceable(network.key_of(node)))
+
+    def _side_dims(self, side: set[int]) -> tuple:
+        """Per-dimension weight of a cut side (empty when no dims)."""
+        if not self._dims:
+            return ()
+        n = len(self._dim_targets)
+        totals = [0.0] * n
+        for node in side:
+            vector = self._dims.get(node)
+            if vector:
+                for index in range(n):
+                    totals[index] += vector[index]
+        return tuple(totals)
+
+    def _deviation(self, dim_weights: tuple) -> float:
+        """Worst relative deviation from the per-dimension targets."""
+        if not dim_weights or not self._dim_targets:
+            return 0.0
+        worst = 0.0
+        for value, target in zip(dim_weights, self._dim_targets):
+            if target > 0:
+                worst = max(worst, abs(value - target) / target)
+        return worst
+
+    def find(self, network: FlowNetwork, target_weight: float, *,
+             dims: dict[int, tuple] | None = None,
+             dim_targets: tuple | None = None) -> BalancedCutResult:
+        """Find a minimum cut whose source side weighs ≈ ``target_weight``.
+
+        ``network`` is consumed (collapse edges are added); pass a clone if
+        the original must survive.
+
+        ``dims``/``dim_targets`` optionally add *dimensional* balance (the
+        paper's flexible weight function): each node carries a weight
+        vector (e.g. profiled per-traffic-class instruction counts) and,
+        among the scalar-balanced cuts, the one minimizing the worst
+        per-dimension deviation from ``dim_targets`` is chosen.
+        """
+        assert network.source is not None and network.sink is not None
+        weights = network.weights
+        low = (1.0 - self.epsilon) * target_weight
+        high = (1.0 + self.epsilon) * target_weight
+        self._dims = dims or {}
+        self._dim_targets = dim_targets or ()
+
+        solver = PushRelabel(network)
+        solver.max_flow()
+        source_forced: set[int] = {network.source}
+        sink_forced: set[int] = {network.sink}
+        best: BalancedCutResult | None = None
+        iterations = 0
+
+        def side_weight(side: set[int]) -> int:
+            return sum(weights[node] for node in side
+                       if node != network.source)
+
+        def as_result(side: set[int], cut_value: int, weight: int,
+                      iteration: int) -> BalancedCutResult:
+            dim_weights = self._side_dims(side)
+            return BalancedCutResult(
+                source_side={network.key_of(node) for node in side
+                             if node not in (network.source, network.sink)},
+                cut_value=cut_value,
+                balanced=low <= weight <= high,
+                iterations=iteration,
+                target=target_weight,
+                weight=weight,
+                dim_weights=dim_weights,
+                dim_deviation=self._deviation(dim_weights),
+            )
+
+        while iterations < self.max_iterations:
+            iterations += 1
+            cut_value = solver.flow_value()
+            if cut_value >= _INF_THRESHOLD:
+                break  # should not happen: collapses are preflighted
+            # Every min cut lies between the minimal source side (residual
+            # reachability from s) and the maximal one (complement of the
+            # nodes reaching t).
+            min_side = solver.min_cut_source_side()
+            max_side = (set(range(network.node_count))
+                        - solver.min_cut_sink_side())
+            min_weight = side_weight(min_side)
+            max_weight = side_weight(max_side)
+            for side, weight in ((min_side, min_weight),
+                                 (max_side, max_weight)):
+                candidate = as_result(side, cut_value, weight, iterations)
+                if best is None or self._better(candidate, best, target_weight):
+                    best = candidate
+            balanced_now = (low <= min_weight <= high) or (low <= max_weight <= high)
+            if balanced_now and not self._dims:
+                break  # FBB stops at the first balanced minimum cut
+            if self._dims and min_weight > high and best is not None \
+                    and best.balanced:
+                break  # dimension sweep done: the band has been crossed
+            if min_weight > high:
+                # Even the lightest min cut is too heavy: shed nodes into
+                # the sink (accepting a costlier cut).
+                moved = self._grow_sink(network, solver, min_side,
+                                        source_forced, sink_forced)
+            elif max_weight < high:
+                # Even the heaviest min cut is too light: absorb nodes into
+                # the source.
+                moved = self._grow_source(network, solver, max_side,
+                                          source_forced, sink_forced)
+            else:
+                # The balance point lies strictly between the extreme min
+                # cuts: grow the minimal side one (cheap) node at a time.
+                moved = self._grow_source(network, solver, min_side,
+                                          source_forced, sink_forced)
+            if not moved:
+                break
+            if self.incremental:
+                solver.resume()
+            else:
+                solver = PushRelabel(network)
+                solver.max_flow()
+
+        assert best is not None
+        best.iterations = iterations
+        return best
+
+    # -- collapse steps ------------------------------------------------------
+
+    def _grow_source(self, network: FlowNetwork, solver: PushRelabel,
+                     source_side: set[int], source_forced: set[int],
+                     sink_forced: set[int]) -> bool:
+        frontier = self._pick(network, source_side, source_forced, sink_forced,
+                              to_source=True)
+        if frontier is None:
+            return False
+        self._contract(network, source_side | {frontier}, source_forced,
+                       to_source=True)
+        return True
+
+    def _grow_sink(self, network: FlowNetwork, solver: PushRelabel,
+                   source_side: set[int], source_forced: set[int],
+                   sink_forced: set[int]) -> bool:
+        sink_side = set(range(network.node_count)) - source_side
+        frontier = self._pick(network, source_side, source_forced, sink_forced,
+                              to_source=False)
+        if frontier is None:
+            return False
+        self._contract(network, sink_side | {frontier}, sink_forced,
+                       to_source=False)
+        return True
+
+    def _contract(self, network: FlowNetwork, nodes: set[int],
+                  forced: set[int], *, to_source: bool) -> None:
+        """Contract every *ready* node of ``nodes`` into the source/sink.
+
+        Readiness is re-evaluated to a fixpoint, so a whole closed side is
+        absorbed in topological order; unready members (whose constraint
+        neighbors lie outside) are simply left for later rounds.  This
+        keeps the forced sets closed under the stage-order constraints —
+        the invariant that makes every future contraction feasible.
+        """
+        pending = {node for node in nodes
+                   if node not in forced and self._is_forceable(network, node)}
+        changed = True
+        while changed:
+            changed = False
+            for node in sorted(pending):
+                if not self._ready(network, node, forced, to_source=to_source):
+                    continue
+                if to_source:
+                    network.add_edge(network.key_of(network.source),
+                                     network.key_of(node), INFINITE_CAPACITY)
+                else:
+                    network.add_edge(network.key_of(node),
+                                     network.key_of(network.sink),
+                                     INFINITE_CAPACITY)
+                forced.add(node)
+                pending.discard(node)
+                changed = True
+
+    def _frontier(self, network: FlowNetwork, source_side: set[int],
+                  *, outward: bool) -> set[int]:
+        """Forceable nodes adjacent to the cut.
+
+        Crossing edges (in either direction — constraint edges point
+        backwards) seed the search on the side being grown into; the search
+        walks *through* non-forceable nodes (variable/control nodes) to the
+        nearest forceable program nodes on that side.
+        """
+        on_target_side = ((lambda node: node not in source_side) if outward
+                          else (lambda node: node in source_side))
+        seeds: set[int] = set()
+        for index in range(0, len(network.edges), 2):  # forward half-edges
+            edge = network.edges[index]
+            src_in = edge.src in source_side
+            dst_in = edge.dst in source_side
+            if src_in == dst_in:
+                continue
+            seeds.add(edge.src)
+            seeds.add(edge.dst)
+        seeds = {node for node in seeds if on_target_side(node)}
+        seeds.discard(network.source)
+        seeds.discard(network.sink)
+        result: set[int] = set()
+        seen: set[int] = set(seeds)
+        work = list(seeds)
+        while work:
+            node = work.pop()
+            if self._is_forceable(network, node):
+                result.add(node)
+                continue
+            # Walk through variable/control nodes to their program nodes.
+            for index in network.adjacency[node]:
+                edge = network.edges[index]
+                neighbor = edge.dst if edge.src == node else edge.src
+                if (neighbor in seen or neighbor == network.source
+                        or neighbor == network.sink):
+                    continue
+                if on_target_side(neighbor):
+                    seen.add(neighbor)
+                    work.append(neighbor)
+        return result
+
+    def _pick(self, network: FlowNetwork, source_side: set[int],
+              source_forced: set[int], sink_forced: set[int],
+              *, to_source: bool) -> int | None:
+        """Choose the next node to contract.
+
+        Only *ready* nodes are eligible — nodes whose every stage-order
+        predecessor (source growth) / successor (sink growth) is already
+        forced — so contraction always peels the constraint DAG from the
+        correct end and never pins a mid-program node (which would wedge
+        the search).  Cut-adjacent ready nodes are preferred (the min cut
+        guides where to grow); ties go to the lightest node, then the
+        smallest index for determinism.
+        """
+        forced = source_forced if to_source else sink_forced
+        ready_all = [
+            node for node in range(network.node_count)
+            if node not in source_forced and node not in sink_forced
+            and self._is_forceable(network, node)
+            and self._ready(network, node, forced, to_source=to_source)
+            and self._collapse_feasible(network, node, source_forced,
+                                        sink_forced, to_source=to_source)
+        ]
+        if not ready_all:
+            return None
+        frontier = self._frontier(network, source_side, outward=to_source)
+        preferred = [node for node in ready_all if node in frontier]
+        pool = preferred or ready_all
+        if self._dims:
+            # Prefer nodes dense in the most-deficient dimension (growing
+            # the source) or in the most-excessive one (shedding to the
+            # sink), so growth interleaves profile classes across stages.
+            side_dims = self._side_dims(source_side)
+            deficit_dim = None
+            worst = 0.0
+            for index, target in enumerate(self._dim_targets):
+                if target <= 0:
+                    continue
+                gap = (target - side_dims[index]) / target
+                if not to_source:
+                    gap = -gap
+                if gap > worst:
+                    worst = gap
+                    deficit_dim = index
+
+            def density(node: int) -> float:
+                vector = self._dims.get(node)
+                if not vector or deficit_dim is None:
+                    return 0.0
+                total = sum(vector) or 1.0
+                return vector[deficit_dim] / total
+
+            return min(pool, key=lambda node: (-density(node),
+                                               network.weights[node], node))
+        return min(pool, key=lambda node: (network.weights[node], node))
+
+    def _ready(self, network: FlowNetwork, node: int, forced: set[int],
+               *, to_source: bool) -> bool:
+        """No unforced constraint neighbor blocks contracting ``node``.
+
+        Constraint (∞) edges out of a program node point at its
+        predecessors in the stage order; edges into it come from its
+        successors.  A node is ready for the source when every ∞-successor
+        — i.e. predecessor in stage order — is already source-forced, and
+        symmetrically for the sink.
+        """
+        for index in network.adjacency[node]:
+            edge = network.edges[index]
+            if to_source:
+                if edge.src != node or edge.cap < _INF_THRESHOLD:
+                    continue
+                neighbor = edge.dst
+            else:
+                pair = network.edges[edge.rev]
+                if pair.dst != node or pair.cap < _INF_THRESHOLD:
+                    continue
+                neighbor = pair.src
+            if neighbor in forced:
+                continue
+            if not self._is_forceable(network, neighbor):
+                continue
+            return False
+        return True
+
+    @staticmethod
+    def _collapse_feasible(network: FlowNetwork, node: int,
+                           source_forced: set[int], sink_forced: set[int],
+                           *, to_source: bool) -> bool:
+        """Preflight: would forcing ``node`` create an ∞-capacity s-t path?
+
+        Forcing into the source is infeasible if an ∞-edge path leads from
+        ``node`` to a sink-forced node; into the sink, if an ∞-edge path
+        leads from a source-forced node to ``node`` (equivalently from
+        ``node`` backwards).
+        """
+        seen = {node}
+        queue = deque([node])
+        blocked = sink_forced if to_source else source_forced
+        while queue:
+            current = queue.popleft()
+            if current in blocked:
+                return False
+            for index in network.adjacency[current]:
+                edge = network.edges[index]
+                if to_source:
+                    # Follow ∞ forward edges out of `current`.
+                    if edge.src != current or edge.cap < _INF_THRESHOLD:
+                        continue
+                    nxt = edge.dst
+                else:
+                    # Follow ∞ in-edges of `current`: the paired half-edge
+                    # of a reverse stub in our adjacency list.
+                    pair = network.edges[edge.rev]
+                    if pair.dst != current or pair.cap < _INF_THRESHOLD:
+                        continue
+                    nxt = pair.src
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return True
+
+    def _better(self, a: BalancedCutResult, b: BalancedCutResult,
+                target: float) -> bool:
+        """Prefer balanced cuts; among balanced cuts the smallest
+        per-dimension deviation (when profiling dimensions are active),
+        then the smallest cut value; otherwise closeness to the target."""
+        if a.balanced != b.balanced:
+            return a.balanced
+        gap_a = abs(a.weight - target)
+        gap_b = abs(b.weight - target)
+        if a.balanced and b.balanced:
+            if self._dims and abs(a.dim_deviation - b.dim_deviation) > 1e-9:
+                return a.dim_deviation < b.dim_deviation
+            if a.cut_value != b.cut_value:
+                return a.cut_value < b.cut_value
+            return gap_a < gap_b
+        if gap_a != gap_b:
+            return gap_a < gap_b
+        return a.cut_value < b.cut_value

@@ -1,0 +1,170 @@
+"""Flow-network construction from the dependence model (paper Figure 5).
+
+The network for one cut contains:
+
+* the unique **source** and **sink** (step 1.6.1),
+* one **program node** per dependence-graph SCC ("unit") still to be
+  placed (step 1.6.2), weighted by its instruction count,
+* one **variable node** per SSA value whose definition and some use lie in
+  different units (step 1.6.3), with a *definition edge* of capacity
+  ``VCost`` from its defining program node (step 1.6.5) and ∞ edges to its
+  using program nodes,
+* one **control node** per summarized CFG node whose branch decision other
+  units depend on (step 1.6.4), with a definition edge of capacity
+  ``CCost`` (step 1.6.7) and ∞ edges to the controlled program nodes,
+* ∞ *constraint* edges from each dependence target back to its source, so
+  a minimum cut can never place a dependence target upstream of its source
+  (the "no dependence from later stages to earlier ones" criterion),
+* anchor edges ``source -> header unit`` and ``latch unit -> sink``.
+
+For the 2nd..(D−1)th successive cuts, values and control objects defined
+in *already placed* stages but still used downstream get their definition
+edge from the source — cutting such an edge again models the forwarding
+cost through intermediate stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dependence_graph import DepKind, LoopDependenceModel
+from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
+from repro.machine.costs import CostModel
+from repro.ir.values import VReg
+
+SOURCE = ("source",)
+SINK = ("sink",)
+
+
+def unit_key(unit: int) -> tuple:
+    return ("unit", unit)
+
+
+def var_key(reg: VReg) -> tuple:
+    return ("var", id(reg), str(reg))
+
+
+def ctl_key(node: int) -> tuple:
+    return ("ctl", node)
+
+
+@dataclass
+class CutNetwork:
+    """A flow network plus the bookkeeping to interpret its cuts."""
+
+    network: FlowNetwork
+    units: set[int]
+    placed_units: set[int] = field(default_factory=set)
+
+    def units_of_cut(self, source_side: set) -> set[int]:
+        """Map a balanced-cut source side back to unit ids."""
+        return {key[1] for key in source_side
+                if isinstance(key, tuple) and key and key[0] == "unit"}
+
+
+def build_cut_network(model: LoopDependenceModel, remaining: set[int],
+                      placed: set[int], costs: CostModel) -> CutNetwork:
+    """Build the Figure-5 network for one successive cut.
+
+    ``remaining`` are the unit ids still to be partitioned; ``placed`` are
+    units already assigned to earlier stages (their live values enter from
+    the source).
+    """
+    net = FlowNetwork()
+    net.add_node(SOURCE)
+    net.add_node(SINK)
+    net.set_source(SOURCE)
+    net.set_sink(SINK)
+    for unit in sorted(remaining):
+        net.add_node(unit_key(unit), weight=model.unit_weight(unit))
+
+    # Anchors: the header starts stage 1 (only relevant for the first cut);
+    # the latch ends the final stage.
+    if model.header_unit in remaining and not placed:
+        net.add_edge(SOURCE, unit_key(model.header_unit), INFINITE_CAPACITY)
+    if model.latch_unit in remaining:
+        net.add_edge(unit_key(model.latch_unit), SINK, INFINITE_CAPACITY)
+
+    # Variable nodes (step 1.6.3 / 1.6.5).
+    for reg, info in model.variables.items():
+        def_unit = model.unit_of_node(info.def_node)
+        use_units = {model.unit_of_node(node) for node in info.use_nodes}
+        use_units.discard(def_unit)
+        live_uses = use_units & remaining
+        if not live_uses:
+            continue
+        if def_unit in remaining:
+            origin = unit_key(def_unit)
+        elif def_unit in placed:
+            origin = SOURCE  # already transmitted once; forwarding costs again
+        else:
+            continue
+        key = var_key(reg)
+        if not net.has_node(key):
+            net.add_node(key, weight=0)
+        net.add_edge(origin, key, costs.vcost(info.words))
+        for use_unit in sorted(live_uses):
+            net.add_edge(key, unit_key(use_unit), INFINITE_CAPACITY)
+            if def_unit in remaining:
+                # Direction constraint: the use can never precede the def.
+                net.add_edge(unit_key(use_unit), unit_key(def_unit),
+                             INFINITE_CAPACITY)
+
+    # Control nodes (step 1.6.4 / 1.6.7).
+    for brancher, dependents in model.controlled.items():
+        branch_unit = model.unit_of_node(brancher)
+        dep_units = {model.unit_of_node(node) for node in dependents}
+        dep_units.discard(branch_unit)
+        live_deps = dep_units & remaining
+        if not live_deps:
+            continue
+        if branch_unit in remaining:
+            origin = unit_key(branch_unit)
+        elif branch_unit in placed:
+            origin = SOURCE
+        else:
+            continue
+        key = ctl_key(brancher)
+        if not net.has_node(key):
+            net.add_node(key, weight=0)
+        net.add_edge(origin, key, costs.ccost)
+        for dep_unit in sorted(live_deps):
+            net.add_edge(key, unit_key(dep_unit), INFINITE_CAPACITY)
+            if branch_unit in remaining:
+                net.add_edge(unit_key(dep_unit), unit_key(branch_unit),
+                             INFINITE_CAPACITY)
+
+    # Ordering constraints (memory / channels): direction only.
+    seen_pairs: set[tuple[int, int]] = set()
+    for edge in model.unit_edges():
+        if edge.kind is DepKind.COLOCATE:
+            continue  # collapsed into one unit already
+        if edge.src not in remaining or edge.dst not in remaining:
+            continue
+        pair = (edge.dst, edge.src)
+        if pair in seen_pairs:
+            continue
+        seen_pairs.add(pair)
+        net.add_edge(unit_key(edge.dst), unit_key(edge.src),
+                     INFINITE_CAPACITY)
+
+    # Control-flow contiguity: a cut is "a set of control flow points that
+    # divide the PPS loop body into two pieces" — each stage must be a
+    # control-flow-closed region, so every summarized CFG edge constrains
+    # its head to be no earlier than its tail.
+    for src_node in model.sgraph.nodes:
+        src_unit = model.unit_of_node(src_node)
+        for dst_node in model.sgraph.succs(src_node):
+            dst_unit = model.unit_of_node(dst_node)
+            if src_unit == dst_unit:
+                continue
+            if src_unit not in remaining or dst_unit not in remaining:
+                continue
+            pair = (dst_unit, src_unit)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            net.add_edge(unit_key(dst_unit), unit_key(src_unit),
+                         INFINITE_CAPACITY)
+
+    return CutNetwork(network=net, units=set(remaining), placed_units=set(placed))

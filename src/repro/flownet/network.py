@@ -1,0 +1,118 @@
+"""Flow-network representation.
+
+Nodes are referenced by arbitrary hashable keys; internally they are dense
+integer indices.  Edges are stored as paired half-edges (an edge and its
+reverse residual), the standard layout for push-relabel.
+
+"Infinite" capacity is a large finite sentinel; a minimum cut whose value
+reaches :data:`INFINITE_CAPACITY` means the requested partition is
+infeasible (it would cut a dependence edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+#: Sentinel for uncuttable edges (dependence-direction constraints).
+INFINITE_CAPACITY = 10**15
+
+
+@dataclass
+class Edge:
+    """Half of an edge pair.  ``rev`` indexes the paired reverse edge in
+    ``edges``; residual capacity is ``cap - flow``."""
+
+    src: int
+    dst: int
+    cap: int
+    flow: int = 0
+    rev: int = -1
+
+    @property
+    def residual(self) -> int:
+        return self.cap - self.flow
+
+
+class FlowNetwork:
+    """A directed flow network with node weights (for balanced cuts)."""
+
+    def __init__(self):
+        self.edges: list[Edge] = []
+        self.adjacency: list[list[int]] = []  # node -> edge indices
+        self.weights: list[int] = []
+        self._keys: list[Hashable] = []
+        self._index: dict[Hashable, int] = {}
+        self.source: int | None = None
+        self.sink: int | None = None
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, key: Hashable, weight: int = 0) -> int:
+        if key in self._index:
+            raise ValueError(f"duplicate node key {key!r}")
+        index = len(self._keys)
+        self._index[key] = index
+        self._keys.append(key)
+        self.adjacency.append([])
+        self.weights.append(weight)
+        return index
+
+    def node(self, key: Hashable) -> int:
+        return self._index[key]
+
+    def key_of(self, index: int) -> Hashable:
+        return self._keys[index]
+
+    def has_node(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def add_edge(self, src: Hashable, dst: Hashable, cap: int) -> int:
+        """Add a directed edge; returns the forward edge index."""
+        u = self._index[src]
+        v = self._index[dst]
+        forward = Edge(u, v, cap)
+        backward = Edge(v, u, 0)
+        forward_index = len(self.edges)
+        backward_index = forward_index + 1
+        forward.rev = backward_index
+        backward.rev = forward_index
+        self.edges.append(forward)
+        self.edges.append(backward)
+        self.adjacency[u].append(forward_index)
+        self.adjacency[v].append(backward_index)
+        return forward_index
+
+    def set_source(self, key: Hashable) -> None:
+        self.source = self._index[key]
+
+    def set_sink(self, key: Hashable) -> None:
+        self.sink = self._index[key]
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._keys)
+
+    def out_edges(self, node: int) -> list[Edge]:
+        return [self.edges[i] for i in self.adjacency[node]]
+
+    def total_weight(self) -> int:
+        return sum(self.weights)
+
+    def reset_flow(self) -> None:
+        for edge in self.edges:
+            edge.flow = 0
+
+    def clone(self) -> "FlowNetwork":
+        """Deep copy (used to compare solver variants on the same input)."""
+        copy = FlowNetwork()
+        copy._keys = list(self._keys)
+        copy._index = dict(self._index)
+        copy.weights = list(self.weights)
+        copy.adjacency = [list(edge_ids) for edge_ids in self.adjacency]
+        copy.edges = [Edge(e.src, e.dst, e.cap, e.flow, e.rev) for e in self.edges]
+        copy.source = self.source
+        copy.sink = self.sink
+        return copy

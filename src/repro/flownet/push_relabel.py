@@ -1,0 +1,218 @@
+"""Goldberg–Tarjan push-relabel maximum flow (paper reference [12]).
+
+FIFO active-node selection with the gap heuristic and periodic global
+relabeling.  The solver supports *warm restarts*: after the balanced-cut
+loop collapses nodes into the source (by adding an infinite-capacity edge
+from the source), ``resume`` keeps the existing preflow, re-saturates the
+source edges, refreshes labels, and continues — the incremental scheme the
+paper describes in §3.3 (implemented with exact-distance relabeling, which
+keeps the labeling valid by construction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
+
+
+class PushRelabel:
+    """Max-flow / min-cut solver bound to one :class:`FlowNetwork`."""
+
+    def __init__(self, network: FlowNetwork):
+        assert network.source is not None and network.sink is not None
+        self.network = network
+        self.source = network.source
+        self.sink = network.sink
+        count = network.node_count
+        self.excess = [0] * count
+        self.label = [0] * count
+        self._active: deque[int] = deque()
+        self._in_queue = [False] * count
+        self._work_since_relabel = 0
+        self._started = False
+
+    # -- public API -------------------------------------------------------------
+
+    def max_flow(self) -> int:
+        """Compute max flow from scratch."""
+        self.network.reset_flow()
+        count = self.network.node_count
+        self.excess = [0] * count
+        self._started = True
+        self._global_relabel()
+        self.label[self.source] = count
+        self._saturate_source()
+        self._discharge_loop()
+        return self.flow_value()
+
+    def resume(self) -> int:
+        """Continue after network edges were added (warm restart).
+
+        Keeps the current flow as a preflow, saturates source edges, and
+        recomputes exact labels (global relabel) so the labeling is valid.
+        """
+        if not self._started:
+            return self.max_flow()
+        count = self.network.node_count
+        # Excess bookkeeping may be stale if edges were added: recompute
+        # from flow conservation.
+        self.excess = [0] * count
+        for edge in self.network.edges:
+            if edge.flow > 0:
+                self.excess[edge.dst] += edge.flow
+                self.excess[edge.src] -= edge.flow
+        self.excess[self.source] = 0
+        self._global_relabel()
+        self.label[self.source] = count
+        self._saturate_source()
+        for node in range(count):
+            if (node not in (self.source, self.sink) and self.excess[node] > 0
+                    and not self._in_queue[node]):
+                self._enqueue(node)
+        self._discharge_loop()
+        return self.flow_value()
+
+    def flow_value(self) -> int:
+        """Current net flow into the sink."""
+        total = 0
+        for index in self.network.adjacency[self.sink]:
+            edge = self.network.edges[index]
+            total -= edge.flow  # reverse edges carry negative of inflow
+        return total
+
+    def min_cut_source_side(self) -> set[int]:
+        """Nodes reachable from the source in the residual graph."""
+        return self._residual_reach(self.source, forward=True)
+
+    def min_cut_sink_side(self) -> set[int]:
+        """Nodes that can reach the sink in the residual graph."""
+        return self._residual_reach(self.sink, forward=False)
+
+    def cut_value(self, source_side: set[int]) -> int:
+        """Capacity of the cut defined by ``source_side``."""
+        total = 0
+        for edge in self.network.edges:
+            if edge.cap > 0 and edge.src in source_side and edge.dst not in source_side:
+                total += edge.cap
+        return total
+
+    # -- internals -------------------------------------------------------------
+
+    def _enqueue(self, node: int) -> None:
+        if not self._in_queue[node]:
+            self._in_queue[node] = True
+            self._active.append(node)
+
+    def _saturate_source(self) -> None:
+        for index in self.network.adjacency[self.source]:
+            edge = self.network.edges[index]
+            delta = edge.residual
+            if delta <= 0 or edge.src != self.source:
+                continue
+            edge.flow += delta
+            self.network.edges[edge.rev].flow -= delta
+            self.excess[edge.dst] += delta
+            if edge.dst not in (self.source, self.sink):
+                self._enqueue(edge.dst)
+
+    def _global_relabel(self) -> None:
+        """Set labels to exact residual BFS distances.
+
+        Nodes that can reach the sink get their residual distance to it;
+        nodes that cannot get ``n + (residual distance to the source)``, the
+        standard two-phase labeling that lets stranded excess drain back.
+        """
+        count = self.network.node_count
+        unset = 2 * count + 1
+        distance = [unset] * count
+
+        def bfs(start: int, base: int) -> None:
+            if distance[start] != unset:
+                return
+            distance[start] = base
+            queue = deque([start])
+            while queue:
+                node = queue.popleft()
+                for index in self.network.adjacency[node]:
+                    edge = self.network.edges[index]
+                    # Residual edge (edge.dst -> node) exists if the paired
+                    # reverse half-edge has residual capacity.
+                    reverse = self.network.edges[edge.rev]
+                    if reverse.residual > 0 and distance[reverse.src] == unset:
+                        distance[reverse.src] = distance[node] + 1
+                        queue.append(reverse.src)
+
+        bfs(self.sink, 0)
+        bfs(self.source, count)
+        for node in range(count):
+            if distance[node] == unset:
+                distance[node] = 2 * count
+        self.label = distance
+        self._work_since_relabel = 0
+
+    def _discharge_loop(self) -> None:
+        count = self.network.node_count
+        relabel_period = max(4 * count, 64)
+        while self._active:
+            node = self._active.popleft()
+            self._in_queue[node] = False
+            self._discharge(node)
+            self._work_since_relabel += 1
+            if self._work_since_relabel >= relabel_period:
+                self._global_relabel()
+                self.label[self.source] = count
+
+    def _discharge(self, node: int) -> None:
+        count = self.network.node_count
+        while self.excess[node] > 0:
+            pushed = False
+            for index in self.network.adjacency[node]:
+                edge = self.network.edges[index]
+                if edge.residual <= 0:
+                    continue
+                if self.label[node] != self.label[edge.dst] + 1:
+                    continue
+                delta = min(self.excess[node], edge.residual)
+                edge.flow += delta
+                self.network.edges[edge.rev].flow -= delta
+                self.excess[node] -= delta
+                self.excess[edge.dst] += delta
+                if edge.dst not in (self.source, self.sink):
+                    self._enqueue(edge.dst)
+                pushed = True
+                if self.excess[node] == 0:
+                    break
+            if self.excess[node] > 0 and not pushed:
+                new_label = None
+                for index in self.network.adjacency[node]:
+                    edge = self.network.edges[index]
+                    if edge.residual > 0:
+                        candidate = self.label[edge.dst] + 1
+                        if new_label is None or candidate < new_label:
+                            new_label = candidate
+                if new_label is None or new_label > 2 * count + 1:
+                    # No residual edge at all: the excess is truly stranded
+                    # (can only happen on disconnected inputs).
+                    return
+                self.label[node] = new_label
+
+    def _residual_reach(self, start: int, *, forward: bool) -> set[int]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for index in self.network.adjacency[node]:
+                edge = self.network.edges[index]
+                if forward:
+                    candidate = edge.dst
+                    has_capacity = edge.residual > 0
+                else:
+                    # Who can reach `start`: follow residual edges backwards.
+                    candidate = edge.dst
+                    reverse = self.network.edges[edge.rev]
+                    has_capacity = reverse.residual > 0
+                if has_capacity and candidate not in seen:
+                    seen.add(candidate)
+                    queue.append(candidate)
+        return seen

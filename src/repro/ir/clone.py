@@ -1,0 +1,93 @@
+"""Deep-copying IR functions.
+
+``clone_function`` produces a structurally identical copy with the *same
+block names* (so analyses on the clone map 1:1 back to the original) and
+the same operand objects (VRegs are shared; passes that rename registers —
+like SSA construction — replace operands in the cloned instructions without
+touching the original).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Instruction,
+    Jump,
+    Phi,
+    PipeIn,
+    PipeOut,
+    Return,
+    SwitchTerm,
+    Terminator,
+    UnOp,
+)
+
+
+def clone_instruction(inst: Instruction) -> Instruction:
+    """Shallow-clone one instruction (operands shared)."""
+    if isinstance(inst, Assign):
+        return Assign(inst.dest, inst.src, location=inst.location)
+    if isinstance(inst, UnOp):
+        return UnOp(inst.dest, inst.op, inst.operand, location=inst.location)
+    if isinstance(inst, BinOp):
+        return BinOp(inst.dest, inst.op, inst.lhs, inst.rhs, location=inst.location)
+    if isinstance(inst, Call):
+        return Call(inst.dest, inst.callee, list(inst.args), location=inst.location)
+    if isinstance(inst, ArrayLoad):
+        return ArrayLoad(inst.dest, inst.array, inst.index, location=inst.location)
+    if isinstance(inst, ArrayStore):
+        return ArrayStore(inst.array, inst.index, inst.value, location=inst.location)
+    if isinstance(inst, Phi):
+        return Phi(inst.dest, dict(inst.incomings), location=inst.location)
+    if isinstance(inst, PipeIn):
+        return PipeIn(list(inst.dests), inst.pipe, inst.per_word_cost,
+                      inst.fixed_cost, location=inst.location)
+    if isinstance(inst, PipeOut):
+        return PipeOut(list(inst.values), inst.pipe, inst.per_word_cost,
+                       inst.fixed_cost, location=inst.location)
+    from repro.pipeline.replicate import SeqAdvance, SeqWait
+
+    if isinstance(inst, SeqWait):
+        return SeqWait(inst.resource, inst.cost, location=inst.location)
+    if isinstance(inst, SeqAdvance):
+        return SeqAdvance(inst.resource, inst.cost, location=inst.location)
+    raise TypeError(f"cannot clone {type(inst).__name__}")
+
+
+def clone_terminator(term: Terminator) -> Terminator:
+    if isinstance(term, Jump):
+        return Jump(term.target, location=term.location)
+    if isinstance(term, Branch):
+        return Branch(term.cond, term.if_true, term.if_false, location=term.location)
+    if isinstance(term, SwitchTerm):
+        return SwitchTerm(term.value, dict(term.cases), term.default,
+                          location=term.location)
+    if isinstance(term, Return):
+        return Return(term.value, location=term.location)
+    raise TypeError(f"cannot clone terminator {type(term).__name__}")
+
+
+def clone_function(function: Function) -> Function:
+    """Deep-copy ``function`` preserving block names and operand identity."""
+    copy = Function(function.name, params=list(function.params),
+                    returns_value=function.returns_value)
+    copy.arrays = dict(function.arrays)
+    copy._next_reg = function._next_reg
+    copy._next_block = function._next_block
+    for name in function.block_order:
+        source = function.block(name)
+        block = BasicBlock(name)
+        for inst in source.instructions:
+            block.append(clone_instruction(inst))
+        if source.terminator is not None:
+            block.set_terminator(clone_terminator(source.terminator))
+        copy.blocks[name] = block
+        copy.block_order.append(name)
+    copy.entry = function.entry
+    return copy

@@ -1,0 +1,487 @@
+"""Instruction set of the PPS-C IR.
+
+The IR is a conventional three-address code over basic blocks:
+
+* straight-line instructions: :class:`Assign`, :class:`UnOp`, :class:`BinOp`,
+  :class:`Call` (intrinsic or not-yet-inlined user call), :class:`ArrayLoad`,
+  :class:`ArrayStore`, and (in SSA form) :class:`Phi`;
+* block terminators: :class:`Jump`, :class:`Branch`, :class:`SwitchTerm`,
+  :class:`Return`.
+
+Pipeline realization adds two pseudo-instructions, :class:`PipeIn` and
+:class:`PipeOut`, which move a packed live-set message between pipeline
+stages over a stage pipe (the NN/scratch rings of the paper).
+
+Each instruction exposes uniform ``uses()`` / ``defs()`` accessors plus
+``replace_uses`` so the analyses never pattern-match on operand fields.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import UNKNOWN_LOCATION, SourceLocation
+from repro.lang.intrinsics import INTRINSICS, is_intrinsic
+from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef, Value, VReg
+
+
+class Instruction:
+    """Base class of all IR instructions."""
+
+    __slots__ = ("location",)
+
+    def __init__(self, location: SourceLocation = UNKNOWN_LOCATION):
+        self.location = location
+
+    # -- uniform operand access ------------------------------------------
+
+    def uses(self) -> list[Value]:
+        """Operand values read by this instruction (registers and consts)."""
+        return []
+
+    def defs(self) -> list[VReg]:
+        """Registers written by this instruction."""
+        return []
+
+    def used_regs(self) -> list[VReg]:
+        """Just the virtual registers among :meth:`uses`."""
+        return [value for value in self.uses() if isinstance(value, VReg)]
+
+    def replace_uses(self, mapping: dict[VReg, Value]) -> None:
+        """Rewrite register operands according to ``mapping``."""
+        raise NotImplementedError
+
+    def replace_defs(self, mapping: dict[VReg, VReg]) -> None:
+        """Rewrite defined registers according to ``mapping``."""
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+    def weight(self) -> int:
+        """Instruction-count weight under the machine model (paper §3.3:
+        stage balance is measured in instruction counts)."""
+        return 1
+
+
+def _subst(value: Value, mapping: dict[VReg, Value]) -> Value:
+    if isinstance(value, VReg) and value in mapping:
+        return mapping[value]
+    return value
+
+
+class Assign(Instruction):
+    """``dest = src`` — a register copy or constant move."""
+
+    __slots__ = ("dest", "src")
+
+    def __init__(self, dest: VReg, src: Value, location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.dest = dest
+        self.src = src
+
+    def uses(self):
+        return [self.src]
+
+    def defs(self):
+        return [self.dest]
+
+    def replace_uses(self, mapping):
+        self.src = _subst(self.src, mapping)
+
+    def replace_defs(self, mapping):
+        self.dest = mapping.get(self.dest, self.dest)
+
+    def __str__(self):
+        return f"{self.dest} = {self.src}"
+
+
+class UnOp(Instruction):
+    """``dest = op operand``."""
+
+    __slots__ = ("dest", "op", "operand")
+
+    def __init__(self, dest: VReg, op: str, operand: Value, location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.dest = dest
+        self.op = op
+        self.operand = operand
+
+    def uses(self):
+        return [self.operand]
+
+    def defs(self):
+        return [self.dest]
+
+    def replace_uses(self, mapping):
+        self.operand = _subst(self.operand, mapping)
+
+    def replace_defs(self, mapping):
+        self.dest = mapping.get(self.dest, self.dest)
+
+    def __str__(self):
+        return f"{self.dest} = {self.op}{self.operand}"
+
+
+class BinOp(Instruction):
+    """``dest = lhs op rhs``."""
+
+    __slots__ = ("dest", "op", "lhs", "rhs")
+
+    def __init__(self, dest: VReg, op: str, lhs: Value, rhs: Value,
+                 location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.dest = dest
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def uses(self):
+        return [self.lhs, self.rhs]
+
+    def defs(self):
+        return [self.dest]
+
+    def replace_uses(self, mapping):
+        self.lhs = _subst(self.lhs, mapping)
+        self.rhs = _subst(self.rhs, mapping)
+
+    def replace_defs(self, mapping):
+        self.dest = mapping.get(self.dest, self.dest)
+
+    def __str__(self):
+        return f"{self.dest} = {self.lhs} {self.op} {self.rhs}"
+
+
+class Call(Instruction):
+    """A call: ``dest = callee(args...)`` or ``callee(args...)``.
+
+    After the inlining pass only intrinsic callees remain.  The first
+    operand of region/pipe intrinsics is a :class:`RegionRef` /
+    :class:`PipeRef`, kept out of ``uses()`` (it is a resource name, not a
+    data operand).
+    """
+
+    __slots__ = ("dest", "callee", "args")
+
+    def __init__(self, dest: VReg | None, callee: str, args: list[Value],
+                 location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.dest = dest
+        self.callee = callee
+        self.args = list(args)
+
+    @property
+    def is_intrinsic(self) -> bool:
+        return is_intrinsic(self.callee)
+
+    def uses(self):
+        return [arg for arg in self.args
+                if not isinstance(arg, (RegionRef, PipeRef))]
+
+    def defs(self):
+        return [self.dest] if self.dest is not None else []
+
+    def replace_uses(self, mapping):
+        self.args = [_subst(arg, mapping) for arg in self.args]
+
+    def replace_defs(self, mapping):
+        if self.dest is not None:
+            self.dest = mapping.get(self.dest, self.dest)
+
+    def weight(self) -> int:
+        if self.is_intrinsic:
+            return INTRINSICS[self.callee].weight
+        return 1
+
+    def __str__(self):
+        args = ", ".join(str(arg) for arg in self.args)
+        prefix = f"{self.dest} = " if self.dest is not None else ""
+        return f"{prefix}{self.callee}({args})"
+
+
+class ArrayLoad(Instruction):
+    """``dest = array[index]``."""
+
+    __slots__ = ("dest", "array", "index")
+
+    def __init__(self, dest: VReg, array: ArrayRef, index: Value,
+                 location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.dest = dest
+        self.array = array
+        self.index = index
+
+    def uses(self):
+        return [self.index]
+
+    def defs(self):
+        return [self.dest]
+
+    def replace_uses(self, mapping):
+        self.index = _subst(self.index, mapping)
+
+    def replace_defs(self, mapping):
+        self.dest = mapping.get(self.dest, self.dest)
+
+    def weight(self) -> int:
+        return 2
+
+    def __str__(self):
+        return f"{self.dest} = {self.array}[{self.index}]"
+
+
+class ArrayStore(Instruction):
+    """``array[index] = value``."""
+
+    __slots__ = ("array", "index", "value")
+
+    def __init__(self, array: ArrayRef, index: Value, value: Value,
+                 location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.array = array
+        self.index = index
+        self.value = value
+
+    def uses(self):
+        return [self.index, self.value]
+
+    def replace_uses(self, mapping):
+        self.index = _subst(self.index, mapping)
+        self.value = _subst(self.value, mapping)
+
+    def weight(self) -> int:
+        return 2
+
+    def __str__(self):
+        return f"{self.array}[{self.index}] = {self.value}"
+
+
+class Phi(Instruction):
+    """SSA φ-function: ``dest = φ(block -> value, ...)``.
+
+    ``incomings`` maps predecessor block *names* to values (block names are
+    stable across the transformations that run while SSA form is live).
+    """
+
+    __slots__ = ("dest", "incomings")
+
+    def __init__(self, dest: VReg, incomings: dict[str, Value],
+                 location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.dest = dest
+        self.incomings = dict(incomings)
+
+    def uses(self):
+        return list(self.incomings.values())
+
+    def defs(self):
+        return [self.dest]
+
+    def replace_uses(self, mapping):
+        self.incomings = {
+            pred: _subst(value, mapping) for pred, value in self.incomings.items()
+        }
+
+    def replace_defs(self, mapping):
+        self.dest = mapping.get(self.dest, self.dest)
+
+    def weight(self) -> int:
+        return 0  # φ is a renaming artifact, not a machine instruction
+
+    def __str__(self):
+        parts = ", ".join(f"{pred}: {value}" for pred, value in
+                          sorted(self.incomings.items()))
+        return f"{self.dest} = phi({parts})"
+
+
+class PipeIn(Instruction):
+    """Pipeline pseudo-op: receive ``count`` words into ``dests`` from the
+    upstream stage pipe.  Weight models the IXP ring dequeue plus per-word
+    register moves."""
+
+    __slots__ = ("dests", "pipe", "per_word_cost", "fixed_cost")
+
+    def __init__(self, dests: list[VReg], pipe: PipeRef, per_word_cost: int = 1,
+                 fixed_cost: int = 2, location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.dests = list(dests)
+        self.pipe = pipe
+        self.per_word_cost = per_word_cost
+        self.fixed_cost = fixed_cost
+
+    def defs(self):
+        return list(self.dests)
+
+    def replace_uses(self, mapping):
+        pass
+
+    def replace_defs(self, mapping):
+        self.dests = [mapping.get(dest, dest) for dest in self.dests]
+
+    def weight(self) -> int:
+        return self.fixed_cost + self.per_word_cost * len(self.dests)
+
+    def __str__(self):
+        dests = ", ".join(str(dest) for dest in self.dests)
+        return f"[{dests}] = pipe_in({self.pipe})"
+
+
+class PipeOut(Instruction):
+    """Pipeline pseudo-op: send ``values`` (one word each) to the downstream
+    stage pipe."""
+
+    __slots__ = ("values", "pipe", "per_word_cost", "fixed_cost")
+
+    def __init__(self, values: list[Value], pipe: PipeRef, per_word_cost: int = 1,
+                 fixed_cost: int = 2, location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.values = list(values)
+        self.pipe = pipe
+        self.per_word_cost = per_word_cost
+        self.fixed_cost = fixed_cost
+
+    def uses(self):
+        return list(self.values)
+
+    def replace_uses(self, mapping):
+        self.values = [_subst(value, mapping) for value in self.values]
+
+    def weight(self) -> int:
+        return self.fixed_cost + self.per_word_cost * len(self.values)
+
+    def __str__(self):
+        values = ", ".join(str(value) for value in self.values)
+        return f"pipe_out({self.pipe}, [{values}])"
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+class Terminator(Instruction):
+    """Base class of block terminators."""
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def successors(self) -> list[str]:
+        """Names of successor blocks."""
+        return []
+
+    def retarget(self, mapping: dict[str, str]) -> None:
+        """Rewrite successor block names according to ``mapping``."""
+
+    def weight(self) -> int:
+        return 1
+
+
+class Jump(Terminator):
+    """Unconditional jump."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: str, location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.target = target
+
+    def successors(self):
+        return [self.target]
+
+    def retarget(self, mapping):
+        self.target = mapping.get(self.target, self.target)
+
+    def replace_uses(self, mapping):
+        pass
+
+    def __str__(self):
+        return f"jump {self.target}"
+
+
+class Branch(Terminator):
+    """Two-way conditional branch on ``cond != 0``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond: Value, if_true: str, if_false: str,
+                 location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self):
+        return [self.cond]
+
+    def successors(self):
+        return [self.if_true, self.if_false]
+
+    def retarget(self, mapping):
+        self.if_true = mapping.get(self.if_true, self.if_true)
+        self.if_false = mapping.get(self.if_false, self.if_false)
+
+    def replace_uses(self, mapping):
+        self.cond = _subst(self.cond, mapping)
+
+    def __str__(self):
+        return f"branch {self.cond} ? {self.if_true} : {self.if_false}"
+
+
+class SwitchTerm(Terminator):
+    """Multi-way branch on an integer value.
+
+    Used both for source-level ``switch`` and for the control-object
+    dispatch that pipeline realization inserts (paper §3.4.2).
+    """
+
+    __slots__ = ("value", "cases", "default")
+
+    def __init__(self, value: Value, cases: dict[int, str], default: str,
+                 location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.value = value
+        self.cases = dict(cases)
+        self.default = default
+
+    def uses(self):
+        return [self.value]
+
+    def successors(self):
+        seen = []
+        for target in list(self.cases.values()) + [self.default]:
+            if target not in seen:
+                seen.append(target)
+        return seen
+
+    def retarget(self, mapping):
+        self.cases = {key: mapping.get(target, target)
+                      for key, target in self.cases.items()}
+        self.default = mapping.get(self.default, self.default)
+
+    def replace_uses(self, mapping):
+        self.value = _subst(self.value, mapping)
+
+    def __str__(self):
+        cases = ", ".join(f"{key}: {target}" for key, target in
+                          sorted(self.cases.items()))
+        return f"switch {self.value} [{cases}] default {self.default}"
+
+
+class Return(Terminator):
+    """Function return (eliminated by inlining; absent from PPS bodies)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value | None = None, location=UNKNOWN_LOCATION):
+        super().__init__(location)
+        self.value = value
+
+    def uses(self):
+        return [self.value] if self.value is not None else []
+
+    def replace_uses(self, mapping):
+        if self.value is not None:
+            self.value = _subst(self.value, mapping)
+
+    def __str__(self):
+        return f"return {self.value}" if self.value is not None else "return"

@@ -1,0 +1,99 @@
+"""Value semantics for the PPS-C IR.
+
+PPS-C has a single scalar type: a 32-bit two's-complement integer (the word
+size of the IXP MicroEngines).  The IR interpreter and constant folder both
+normalize every arithmetic result through :func:`wrap32`.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+INT_MIN = -(1 << (WORD_BITS - 1))
+INT_MAX = (1 << (WORD_BITS - 1)) - 1
+
+
+def wrap32(value: int) -> int:
+    """Wrap an arbitrary Python int to signed 32-bit two's complement."""
+    value &= WORD_MASK
+    if value > INT_MAX:
+        value -= 1 << WORD_BITS
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """View a signed 32-bit value as unsigned (for shifts and printing)."""
+    return value & WORD_MASK
+
+
+def eval_binary(op: str, lhs: int, rhs: int) -> int:
+    """Evaluate a PPS-C binary operator on 32-bit values.
+
+    Division/modulo follow C semantics (truncation toward zero); division by
+    zero raises ``ZeroDivisionError`` (the interpreter turns it into a trap).
+    Shift counts are masked to 5 bits, as on the IXP ALU.
+    """
+    if op == "+":
+        return wrap32(lhs + rhs)
+    if op == "-":
+        return wrap32(lhs - rhs)
+    if op == "*":
+        return wrap32(lhs * rhs)
+    if op == "/":
+        if rhs == 0:
+            raise ZeroDivisionError("division by zero")
+        quotient = abs(lhs) // abs(rhs)
+        if (lhs < 0) != (rhs < 0):
+            quotient = -quotient
+        return wrap32(quotient)
+    if op == "%":
+        if rhs == 0:
+            raise ZeroDivisionError("modulo by zero")
+        return wrap32(lhs - eval_binary("/", lhs, rhs) * rhs)
+    if op == "&":
+        return wrap32(lhs & rhs)
+    if op == "|":
+        return wrap32(lhs | rhs)
+    if op == "^":
+        return wrap32(lhs ^ rhs)
+    if op == "<<":
+        return wrap32(lhs << (rhs & 31))
+    if op == ">>":
+        # Arithmetic shift on signed values, like the MicroEngine ALU.
+        return wrap32(lhs >> (rhs & 31))
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def eval_unary(op: str, operand: int) -> int:
+    """Evaluate a PPS-C unary operator on a 32-bit value."""
+    if op == "-":
+        return wrap32(-operand)
+    if op == "~":
+        return wrap32(~operand)
+    if op == "!":
+        return int(operand == 0)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+#: Binary operators that always produce 0/1.
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+#: All binary operators the IR supports.
+BINARY_OPS = frozenset(
+    {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"} | COMPARISON_OPS
+)
+
+#: All unary operators the IR supports.
+UNARY_OPS = frozenset({"-", "~", "!"})

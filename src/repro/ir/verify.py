@@ -1,0 +1,124 @@
+"""IR well-formedness verifier.
+
+Run after every construction or transformation pass in tests.  Checks:
+
+* every block is terminated and every successor exists,
+* the entry block exists and has no predecessors (except via the PPS back
+  edge, which is allowed and flagged by ``allow_entry_preds``),
+* φ-functions appear only at block heads and cover exactly the block's
+  predecessors,
+* (SSA mode) every register has exactly one definition, and every use is
+  dominated by its definition.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dominance import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.values import VReg
+
+
+class VerificationError(AssertionError):
+    """Raised when an IR invariant is violated."""
+
+
+def verify_function(function: Function, *, ssa: bool = False,
+                    allow_entry_preds: bool = True) -> None:
+    """Verify structural invariants of ``function``.
+
+    Raises :class:`VerificationError` with a precise message on violation.
+    """
+    if function.entry is None:
+        raise VerificationError(f"{function.name}: no entry block")
+    if function.entry not in function.blocks:
+        raise VerificationError(f"{function.name}: entry block missing")
+
+    for block in function.ordered_blocks():
+        if block.terminator is None:
+            raise VerificationError(f"{function.name}:{block.name}: unterminated")
+        for successor in block.successors():
+            if successor not in function.blocks:
+                raise VerificationError(
+                    f"{function.name}:{block.name}: unknown successor {successor}"
+                )
+        seen_non_phi = False
+        for instruction in block.instructions:
+            if instruction.is_terminator:
+                raise VerificationError(
+                    f"{function.name}:{block.name}: terminator in instruction list"
+                )
+            if isinstance(instruction, Phi):
+                if seen_non_phi:
+                    raise VerificationError(
+                        f"{function.name}:{block.name}: phi after non-phi"
+                    )
+            else:
+                seen_non_phi = True
+
+    preds = function.predecessors()
+    if not allow_entry_preds and preds[function.entry]:
+        raise VerificationError(f"{function.name}: entry block has predecessors")
+
+    for block in function.ordered_blocks():
+        pred_set = set(preds[block.name])
+        for phi in block.phis():
+            incoming = set(phi.incomings)
+            if incoming != pred_set:
+                raise VerificationError(
+                    f"{function.name}:{block.name}: phi {phi.dest} incomings "
+                    f"{sorted(incoming)} != preds {sorted(pred_set)}"
+                )
+
+    if ssa:
+        _verify_ssa(function)
+
+
+def _verify_ssa(function: Function) -> None:
+    definitions: dict[VReg, tuple[str, int]] = {}
+    for param in function.params:
+        definitions[param] = (function.entry or "", -1)
+    for block in function.ordered_blocks():
+        for index, instruction in enumerate(block.all_instructions()):
+            for dest in instruction.defs():
+                if dest in definitions:
+                    raise VerificationError(
+                        f"{function.name}: register {dest} defined twice"
+                    )
+                definitions[dest] = (block.name, index)
+
+    dom = DominatorTree.compute(function)
+    for block in function.ordered_blocks():
+        for index, instruction in enumerate(block.all_instructions()):
+            if isinstance(instruction, Phi):
+                for pred, value in instruction.incomings.items():
+                    if isinstance(value, VReg):
+                        if value not in definitions:
+                            raise VerificationError(
+                                f"{function.name}: phi uses undefined {value}"
+                            )
+                        def_block, _ = definitions[value]
+                        if not dom.dominates(def_block, pred):
+                            raise VerificationError(
+                                f"{function.name}: def of {value} in {def_block} "
+                                f"does not dominate phi edge from {pred}"
+                            )
+                continue
+            for value in instruction.used_regs():
+                if value not in definitions:
+                    raise VerificationError(
+                        f"{function.name}: use of undefined register {value} "
+                        f"in {block.name}: {instruction}"
+                    )
+                def_block, def_index = definitions[value]
+                if def_block == block.name:
+                    if def_index >= index:
+                        raise VerificationError(
+                            f"{function.name}:{block.name}: {value} used at "
+                            f"{index} before its definition at {def_index}"
+                        )
+                elif not dom.dominates(def_block, block.name):
+                    raise VerificationError(
+                        f"{function.name}: def of {value} in {def_block} does "
+                        f"not dominate use in {block.name}"
+                    )

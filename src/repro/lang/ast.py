@@ -1,0 +1,277 @@
+"""Abstract syntax tree for PPS-C.
+
+The tree is deliberately small: PPS-C has one scalar type (``int``), local
+fixed-size ``int`` arrays, functions, and structured control flow.  Each
+node records its source location for diagnostics.
+
+Top-level declarations mirror the auto-partitioning programming model of the
+paper: ``pps`` bodies (packet processing stages), ``pipe`` channels, and
+``memory`` regions (optionally ``readonly``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.errors import UNKNOWN_LOCATION, SourceLocation
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    location: SourceLocation = field(default=UNKNOWN_LOCATION, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class of expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    """An integer literal."""
+
+    value: int = 0
+
+
+@dataclass
+class Name(Expr):
+    """A reference to a variable, pipe, or memory region."""
+
+    ident: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """A unary operation: ``-``, ``~``, or ``!``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    """A binary operation, including short-circuit ``&&`` / ``||``."""
+
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class Ternary(Expr):
+    """The conditional expression ``cond ? a : b``."""
+
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """A call to a user function or intrinsic."""
+
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """A read of a local array element: ``a[i]``."""
+
+    base: str = ""
+    index: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class of statements."""
+
+
+@dataclass
+class Block(Stmt):
+    """A ``{ ... }`` compound statement (a new scope)."""
+
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local declaration ``int x = e;`` or ``int a[N];``."""
+
+    name: str = ""
+    array_size: int | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """Assignment ``target = value`` (``op`` is the compound operator, if any).
+
+    ``target`` is either a :class:`Name` or an :class:`Index`.
+    """
+
+    target: Expr | None = None
+    op: str | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for side effects (e.g. a call)."""
+
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) then else other``."""
+
+    cond: Expr | None = None
+    then: Stmt | None = None
+    other: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) body``.  ``while (1)`` / ``for (;;)`` is an infinite
+    loop; the outermost infinite loop of a ``pps`` is its PPS loop."""
+
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do body while (cond);``."""
+
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body`` — each part may be omitted."""
+
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Switch(Stmt):
+    """``switch (expr)`` with constant cases.
+
+    Cases do not fall through in PPS-C: each case's statement list executes
+    and leaves the switch (a deliberate simplification; ``break`` inside a
+    case is accepted and redundant).
+    """
+
+    expr: Expr | None = None
+    cases: list[tuple[int, list[Stmt]]] = field(default_factory=list)
+    default: list[Stmt] | None = None
+
+
+@dataclass
+class Break(Stmt):
+    """``break;`` — exits the innermost loop or switch."""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;`` — next iteration of the innermost loop."""
+
+
+@dataclass
+class Return(Stmt):
+    """``return;`` or ``return e;``."""
+
+    value: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    """Base class of top-level declarations."""
+
+
+@dataclass
+class FunctionDecl(Decl):
+    """A user function: always fully inlined before pipelining."""
+
+    name: str = ""
+    params: list[str] = field(default_factory=list)
+    returns_value: bool = True
+    body: Block | None = None
+
+
+@dataclass
+class PipeDecl(Decl):
+    """An inter-PPS communication channel (``pipe name;``)."""
+
+    name: str = ""
+
+
+@dataclass
+class MemoryDecl(Decl):
+    """A shared memory region (``memory name[size];``).
+
+    ``readonly`` regions (e.g. route tables) carry no PPS-loop-carried
+    dependence; read-write regions serialize all their accesses.
+    """
+
+    name: str = ""
+    size: int = 0
+    readonly: bool = False
+
+
+@dataclass
+class PpsDecl(Decl):
+    """A packet processing stage: ``pps name { ... }``.
+
+    The body must contain exactly one outermost infinite loop (the PPS
+    loop); the pipelining transformation partitions that loop's body.
+    """
+
+    name: str = ""
+    body: Block | None = None
+
+
+@dataclass
+class Program(Node):
+    """A whole PPS-C translation unit."""
+
+    functions: list[FunctionDecl] = field(default_factory=list)
+    pipes: list[PipeDecl] = field(default_factory=list)
+    memories: list[MemoryDecl] = field(default_factory=list)
+    ppses: list[PpsDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDecl:
+        """Look up a function by name (raises ``KeyError`` if absent)."""
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def pps(self, name: str) -> PpsDecl:
+        """Look up a PPS by name (raises ``KeyError`` if absent)."""
+        for pps in self.ppses:
+            if pps.name == name:
+                return pps
+        raise KeyError(name)

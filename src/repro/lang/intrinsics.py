@@ -1,0 +1,140 @@
+"""The PPS-C intrinsic catalogue.
+
+Intrinsics are the only way PPS-C code touches state outside its local
+scalars: packet buffers, shared memory regions, inter-PPS pipes, and the
+receive/transmit devices of the network processor.  Each intrinsic carries
+an *effect* description that the dependence analysis
+(:mod:`repro.analysis.memdep`) uses to build ordering edges, and a default
+instruction weight used by the machine cost model.
+
+Effect model
+------------
+
+* ``PURE`` — no side effects; freely placeable.
+* ``PKT_READ`` / ``PKT_WRITE`` — reads/writes the per-packet store.  Packet
+  handles are produced afresh for every packet, so these effects order
+  *within* one PPS-loop iteration only (the paper: network applications
+  "perform largely independent operations on successive packets").
+* ``MEM_READ`` / ``MEM_WRITE`` — access a named shared memory region.  For
+  ``readonly`` regions, reads are unordered.  For read-write regions all
+  accesses are serialized *including across iterations* — this is exactly
+  the PPS-loop-carried dependence that makes the paper's QM and Scheduler
+  PPSes unpipelinable.
+* ``CHANNEL_IN`` / ``CHANNEL_OUT`` — dequeue/enqueue on a named pipe.  A
+  pipe endpoint is a serially ordered resource: all operations on the same
+  pipe must stay in one pipeline stage (and stay in program order).
+* ``DEVICE_IN`` / ``DEVICE_OUT`` — media interface (rbuf/tbuf) operations,
+  serially ordered per device port.
+* ``TRACE`` — an observable debug event, serially ordered per tag; the
+  equivalence checker compares per-tag event sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Effect(enum.Enum):
+    """Side-effect classification of an intrinsic."""
+
+    PURE = "pure"
+    PKT_READ = "pkt_read"
+    PKT_WRITE = "pkt_write"
+    MEM_READ = "mem_read"
+    MEM_WRITE = "mem_write"
+    CHANNEL_IN = "channel_in"
+    CHANNEL_OUT = "channel_out"
+    DEVICE_IN = "device_in"
+    DEVICE_OUT = "device_out"
+    TRACE = "trace"
+
+
+#: Effects that read or write a named memory region (first argument).
+MEMORY_EFFECTS = frozenset({Effect.MEM_READ, Effect.MEM_WRITE})
+
+#: Effects whose first argument names a pipe.
+CHANNEL_EFFECTS = frozenset({Effect.CHANNEL_IN, Effect.CHANNEL_OUT})
+
+#: Effects ordered per device port (first argument, a constant port number).
+DEVICE_EFFECTS = frozenset({Effect.DEVICE_IN, Effect.DEVICE_OUT})
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """Static description of one PPS-C intrinsic.
+
+    Attributes:
+        name: The source-level callee name.
+        argc: Number of arguments.
+        returns_value: True if calls produce a value.
+        effect: Side-effect classification (see module docstring).
+        weight: Default instruction-count weight in the machine model; the
+            paper balances stages by instruction count, and memory / ring
+            operations on the IXP expand to multi-instruction sequences.
+    """
+
+    name: str
+    argc: int
+    returns_value: bool
+    effect: Effect
+    weight: int = 1
+
+
+_CATALOG = [
+    # -- pure helpers ---------------------------------------------------
+    Intrinsic("hash32", 1, True, Effect.PURE, weight=2),
+    # -- per-packet store ------------------------------------------------
+    Intrinsic("pkt_alloc", 1, True, Effect.PKT_WRITE, weight=3),
+    Intrinsic("pkt_free", 1, False, Effect.PKT_WRITE, weight=2),
+    Intrinsic("pkt_len", 1, True, Effect.PKT_READ, weight=1),
+    Intrinsic("pkt_load", 2, True, Effect.PKT_READ, weight=2),
+    Intrinsic("pkt_store", 3, False, Effect.PKT_WRITE, weight=2),
+    Intrinsic("pkt_load_u16", 2, True, Effect.PKT_READ, weight=2),
+    Intrinsic("pkt_store_u16", 3, False, Effect.PKT_WRITE, weight=2),
+    Intrinsic("pkt_load_u32", 2, True, Effect.PKT_READ, weight=2),
+    Intrinsic("pkt_store_u32", 3, False, Effect.PKT_WRITE, weight=2),
+    Intrinsic("pkt_meta_get", 2, True, Effect.PKT_READ, weight=1),
+    Intrinsic("pkt_meta_set", 3, False, Effect.PKT_WRITE, weight=1),
+    # -- shared memory (SRAM/DRAM) ----------------------------------------
+    Intrinsic("mem_read", 2, True, Effect.MEM_READ, weight=4),
+    Intrinsic("mem_write", 3, False, Effect.MEM_WRITE, weight=4),
+    Intrinsic("mem_add", 3, True, Effect.MEM_WRITE, weight=4),
+    # -- inter-PPS pipes ---------------------------------------------------
+    Intrinsic("pipe_send", 2, False, Effect.CHANNEL_OUT, weight=3),
+    Intrinsic("pipe_recv", 1, True, Effect.CHANNEL_IN, weight=3),
+    Intrinsic("pipe_empty", 1, True, Effect.CHANNEL_IN, weight=2),
+    # -- media devices (mpacket granularity, like IXP rbuf/tbuf) -----------
+    Intrinsic("rbuf_next", 1, True, Effect.DEVICE_IN, weight=3),
+    Intrinsic("rbuf_status", 1, True, Effect.DEVICE_IN, weight=1),
+    Intrinsic("rbuf_load", 2, True, Effect.DEVICE_IN, weight=2),
+    Intrinsic("rbuf_free", 1, False, Effect.DEVICE_IN, weight=1),
+    Intrinsic("tbuf_alloc", 1, True, Effect.DEVICE_OUT, weight=3),
+    Intrinsic("tbuf_store", 3, False, Effect.DEVICE_OUT, weight=2),
+    Intrinsic("tbuf_commit", 2, False, Effect.DEVICE_OUT, weight=3),
+    # -- observability -----------------------------------------------------
+    Intrinsic("trace", 2, False, Effect.TRACE, weight=1),
+]
+
+INTRINSICS: dict[str, Intrinsic] = {item.name: item for item in _CATALOG}
+
+
+def is_intrinsic(name: str) -> bool:
+    """Return True if ``name`` is a PPS-C intrinsic."""
+    return name in INTRINSICS
+
+
+def get_intrinsic(name: str) -> Intrinsic:
+    """Look up an intrinsic by name (raises ``KeyError`` if unknown)."""
+    return INTRINSICS[name]
+
+
+#: Intrinsics whose first argument must be a declared memory region name.
+REGION_ARG_INTRINSICS = frozenset(
+    item.name for item in _CATALOG if item.effect in MEMORY_EFFECTS
+)
+
+#: Intrinsics whose first argument must be a declared pipe name.
+PIPE_ARG_INTRINSICS = frozenset(
+    item.name for item in _CATALOG if item.effect in CHANNEL_EFFECTS
+)

@@ -1,0 +1,204 @@
+"""Hand-written lexer for PPS-C.
+
+The lexer is a single forward pass with one character of lookahead for
+multi-character operators.  It supports ``//`` and ``/* */`` comments,
+decimal, hexadecimal (``0x``), octal (leading ``0``) and character literals.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError, SourceLocation
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_SIMPLE_ESCAPES = {
+    "n": ord("\n"),
+    "t": ord("\t"),
+    "r": ord("\r"),
+    "0": 0,
+    "\\": ord("\\"),
+    "'": ord("'"),
+    '"': ord('"'),
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    ("<<=", TokenKind.LSHIFT_ASSIGN),
+    (">>=", TokenKind.RSHIFT_ASSIGN),
+    ("<<", TokenKind.LSHIFT),
+    (">>", TokenKind.RSHIFT),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&=", TokenKind.AMP_ASSIGN),
+    ("|=", TokenKind.BAR_ASSIGN),
+    ("^=", TokenKind.CARET_ASSIGN),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMI),
+    (",", TokenKind.COMMA),
+    (":", TokenKind.COLON),
+    ("?", TokenKind.QUESTION),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.BAR),
+    ("^", TokenKind.CARET),
+    ("~", TokenKind.TILDE),
+    ("!", TokenKind.BANG),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+]
+
+
+class Lexer:
+    """Converts PPS-C source text into a token stream."""
+
+    def __init__(self, source: str, filename: str = "<pps-c>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole buffer, returning tokens ending with an EOF token."""
+        tokens = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._filename, self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._source):
+            return self._source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while True:
+            char = self._peek()
+            if char and char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        location = self._location()
+        char = self._peek()
+        if not char:
+            return Token(TokenKind.EOF, "", location)
+        if char.isalpha() or char == "_":
+            return self._lex_identifier(location)
+        if char.isdigit():
+            return self._lex_number(location)
+        if char == "'":
+            return self._lex_char(location)
+        for text, kind in _OPERATORS:
+            if self._source.startswith(text, self._pos):
+                self._advance(len(text))
+                return Token(kind, text, location)
+        raise LexError(f"unexpected character {char!r}", location)
+
+    def _lex_identifier(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, location)
+
+    def _lex_number(self, location: SourceLocation) -> Token:
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            if not self._is_hex_digit(self._peek()):
+                raise LexError("malformed hexadecimal literal", location)
+            while self._is_hex_digit(self._peek()):
+                self._advance()
+            text = self._source[start : self._pos]
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            text = self._source[start : self._pos]
+            value = int(text, 8) if text.startswith("0") and len(text) > 1 else int(text)
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexError(f"malformed number {text + self._peek()!r}", location)
+        return Token(TokenKind.INT_LIT, text, location, value=value)
+
+    def _lex_char(self, location: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        char = self._peek()
+        if not char or char == "\n":
+            raise LexError("unterminated character literal", location)
+        if char == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in _SIMPLE_ESCAPES:
+                raise LexError(f"unknown escape \\{escape}", location)
+            value = _SIMPLE_ESCAPES[escape]
+            self._advance()
+        else:
+            value = ord(char)
+            self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", location)
+        self._advance()
+        return Token(TokenKind.INT_LIT, f"'{char}'", location, value=value)
+
+    @staticmethod
+    def _is_hex_digit(char: str) -> bool:
+        return bool(char) and char in "0123456789abcdefABCDEF"
+
+
+def tokenize(source: str, filename: str = "<pps-c>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,424 @@
+"""Recursive-descent parser for PPS-C.
+
+Grammar sketch (EBNF, whitespace-insensitive)::
+
+    program     := (function | pipe | memory | pps)*
+    pipe        := 'pipe' IDENT ';'
+    memory      := 'readonly'? 'memory' IDENT '[' INT ']' ';'
+    pps         := 'pps' IDENT block
+    function    := ('int' | 'void') IDENT '(' params? ')' block
+    params      := 'int' IDENT (',' 'int' IDENT)*
+    block       := '{' stmt* '}'
+    stmt        := block | decl | if | while | do | for | switch
+                 | 'break' ';' | 'continue' ';' | 'return' expr? ';'
+                 | assign-or-expr ';' | ';'
+    decl        := 'int' IDENT ('[' INT ']' | ('=' expr)?) ';'
+    assign      := lvalue ('=' | '+=' | ... ) expr | lvalue '++' | lvalue '--'
+    expr        := ternary with usual C precedence (no comma operator)
+
+Expressions use precedence climbing; assignment is a statement form, not an
+expression (one statement per line is a PPS-C idiom).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import COMPOUND_ASSIGN_OPS, Token, TokenKind
+
+# Binary operator precedence, higher binds tighter (C-like).
+_BINARY_PRECEDENCE = {
+    TokenKind.OR_OR: 1,
+    TokenKind.AND_AND: 2,
+    TokenKind.BAR: 3,
+    TokenKind.CARET: 4,
+    TokenKind.AMP: 5,
+    TokenKind.EQ: 6,
+    TokenKind.NE: 6,
+    TokenKind.LT: 7,
+    TokenKind.GT: 7,
+    TokenKind.LE: 7,
+    TokenKind.GE: 7,
+    TokenKind.LSHIFT: 8,
+    TokenKind.RSHIFT: 8,
+    TokenKind.PLUS: 9,
+    TokenKind.MINUS: 9,
+    TokenKind.STAR: 10,
+    TokenKind.SLASH: 10,
+    TokenKind.PERCENT: 10,
+}
+
+_TERNARY_PRECEDENCE = 0
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, what: str | None = None) -> Token:
+        if self._at(kind):
+            return self._advance()
+        token = self._peek()
+        wanted = what or f"'{kind.value}'"
+        raise ParseError(f"expected {wanted}, found '{token.text or 'EOF'}'", token.location)
+
+    # -- top level -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse a complete translation unit."""
+        program = ast.Program(location=self._peek().location)
+        while not self._at(TokenKind.EOF):
+            token = self._peek()
+            if token.kind is TokenKind.KW_PIPE:
+                program.pipes.append(self._parse_pipe())
+            elif token.kind in (TokenKind.KW_MEMORY, TokenKind.KW_READONLY):
+                program.memories.append(self._parse_memory())
+            elif token.kind is TokenKind.KW_PPS:
+                program.ppses.append(self._parse_pps())
+            elif token.kind in (TokenKind.KW_INT, TokenKind.KW_VOID):
+                program.functions.append(self._parse_function())
+            else:
+                raise ParseError(
+                    f"expected a top-level declaration, found '{token.text}'", token.location
+                )
+        return program
+
+    def _parse_pipe(self) -> ast.PipeDecl:
+        location = self._expect(TokenKind.KW_PIPE).location
+        name = self._expect(TokenKind.IDENT, "pipe name").text
+        self._expect(TokenKind.SEMI)
+        return ast.PipeDecl(name=name, location=location)
+
+    def _parse_memory(self) -> ast.MemoryDecl:
+        readonly = self._accept(TokenKind.KW_READONLY) is not None
+        location = self._expect(TokenKind.KW_MEMORY).location
+        name = self._expect(TokenKind.IDENT, "memory name").text
+        self._expect(TokenKind.LBRACKET)
+        size = self._expect(TokenKind.INT_LIT, "memory size").value
+        self._expect(TokenKind.RBRACKET)
+        self._expect(TokenKind.SEMI)
+        assert size is not None
+        return ast.MemoryDecl(name=name, size=size, readonly=readonly, location=location)
+
+    def _parse_pps(self) -> ast.PpsDecl:
+        location = self._expect(TokenKind.KW_PPS).location
+        name = self._expect(TokenKind.IDENT, "pps name").text
+        body = self._parse_block()
+        return ast.PpsDecl(name=name, body=body, location=location)
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        returns_value = self._advance().kind is TokenKind.KW_INT
+        name_token = self._expect(TokenKind.IDENT, "function name")
+        self._expect(TokenKind.LPAREN)
+        params: list[str] = []
+        if not self._at(TokenKind.RPAREN):
+            while True:
+                if self._accept(TokenKind.KW_VOID):
+                    break
+                self._expect(TokenKind.KW_INT, "parameter type 'int'")
+                params.append(self._expect(TokenKind.IDENT, "parameter name").text)
+                if not self._accept(TokenKind.COMMA):
+                    break
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_block()
+        return ast.FunctionDecl(
+            name=name_token.text,
+            params=params,
+            returns_value=returns_value,
+            body=body,
+            location=name_token.location,
+        )
+
+    # -- statements -------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        location = self._expect(TokenKind.LBRACE).location
+        statements = []
+        while not self._at(TokenKind.RBRACE):
+            if self._at(TokenKind.EOF):
+                raise ParseError("unterminated block", location)
+            statements.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE)
+        return ast.Block(statements=statements, location=location)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        kind = token.kind
+        if kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if kind is TokenKind.KW_INT:
+            return self._parse_declaration()
+        if kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if kind is TokenKind.KW_SWITCH:
+            return self._parse_switch()
+        if kind is TokenKind.KW_BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Break(location=token.location)
+        if kind is TokenKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Continue(location=token.location)
+        if kind is TokenKind.KW_RETURN:
+            self._advance()
+            value = None if self._at(TokenKind.SEMI) else self._parse_expression()
+            self._expect(TokenKind.SEMI)
+            return ast.Return(value=value, location=token.location)
+        if kind is TokenKind.SEMI:
+            self._advance()
+            return ast.Block(location=token.location)
+        if kind is TokenKind.KW_GOTO:
+            raise ParseError("'goto' is reserved but not supported in PPS-C", token.location)
+        stmt = self._parse_assign_or_expr()
+        self._expect(TokenKind.SEMI)
+        return stmt
+
+    def _parse_declaration(self) -> ast.DeclStmt:
+        location = self._expect(TokenKind.KW_INT).location
+        name = self._expect(TokenKind.IDENT, "variable name").text
+        if self._accept(TokenKind.LBRACKET):
+            size_token = self._expect(TokenKind.INT_LIT, "array size")
+            self._expect(TokenKind.RBRACKET)
+            self._expect(TokenKind.SEMI)
+            assert size_token.value is not None
+            if size_token.value <= 0:
+                raise ParseError("array size must be positive", size_token.location)
+            return ast.DeclStmt(name=name, array_size=size_token.value, location=location)
+        init = None
+        if self._accept(TokenKind.ASSIGN):
+            init = self._parse_expression()
+        self._expect(TokenKind.SEMI)
+        return ast.DeclStmt(name=name, init=init, location=location)
+
+    def _parse_if(self) -> ast.If:
+        location = self._expect(TokenKind.KW_IF).location
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        then = self._parse_statement()
+        other = None
+        if self._accept(TokenKind.KW_ELSE):
+            other = self._parse_statement()
+        return ast.If(cond=cond, then=then, other=other, location=location)
+
+    def _parse_while(self) -> ast.While:
+        location = self._expect(TokenKind.KW_WHILE).location
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_statement()
+        return ast.While(cond=cond, body=body, location=location)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        location = self._expect(TokenKind.KW_DO).location
+        body = self._parse_statement()
+        self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        return ast.DoWhile(body=body, cond=cond, location=location)
+
+    def _parse_for(self) -> ast.For:
+        location = self._expect(TokenKind.KW_FOR).location
+        self._expect(TokenKind.LPAREN)
+        init: ast.Stmt | None = None
+        if not self._at(TokenKind.SEMI):
+            if self._at(TokenKind.KW_INT):
+                init = self._parse_declaration()
+            else:
+                init = self._parse_assign_or_expr()
+                self._expect(TokenKind.SEMI)
+        else:
+            self._advance()
+        cond = None
+        if not self._at(TokenKind.SEMI):
+            cond = self._parse_expression()
+        self._expect(TokenKind.SEMI)
+        step = None
+        if not self._at(TokenKind.RPAREN):
+            step = self._parse_assign_or_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_statement()
+        return ast.For(init=init, cond=cond, step=step, body=body, location=location)
+
+    def _parse_switch(self) -> ast.Switch:
+        location = self._expect(TokenKind.KW_SWITCH).location
+        self._expect(TokenKind.LPAREN)
+        expr = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.LBRACE)
+        cases: list[tuple[int, list[ast.Stmt]]] = []
+        default: list[ast.Stmt] | None = None
+        seen_values: set[int] = set()
+        while not self._at(TokenKind.RBRACE):
+            if self._accept(TokenKind.KW_CASE):
+                value_token = self._expect(TokenKind.INT_LIT, "case value")
+                self._expect(TokenKind.COLON)
+                assert value_token.value is not None
+                if value_token.value in seen_values:
+                    raise ParseError(
+                        f"duplicate case value {value_token.value}", value_token.location
+                    )
+                seen_values.add(value_token.value)
+                cases.append((value_token.value, self._parse_case_body()))
+            elif self._accept(TokenKind.KW_DEFAULT):
+                self._expect(TokenKind.COLON)
+                if default is not None:
+                    raise ParseError("duplicate 'default' label", location)
+                default = self._parse_case_body()
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"expected 'case' or 'default', found '{token.text}'", token.location
+                )
+        self._expect(TokenKind.RBRACE)
+        return ast.Switch(expr=expr, cases=cases, default=default, location=location)
+
+    def _parse_case_body(self) -> list[ast.Stmt]:
+        statements: list[ast.Stmt] = []
+        while self._peek().kind not in (
+            TokenKind.KW_CASE,
+            TokenKind.KW_DEFAULT,
+            TokenKind.RBRACE,
+            TokenKind.EOF,
+        ):
+            if self._at(TokenKind.KW_BREAK):
+                # `break` in a case terminates the case body (no fallthrough
+                # exists in PPS-C, so it is accepted and redundant).
+                self._advance()
+                self._expect(TokenKind.SEMI)
+                break
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_assign_or_expr(self) -> ast.Stmt:
+        location = self._peek().location
+        expr = self._parse_expression()
+        token = self._peek()
+        if token.kind is TokenKind.ASSIGN:
+            self._require_lvalue(expr)
+            self._advance()
+            value = self._parse_expression()
+            return ast.AssignStmt(target=expr, op=None, value=value, location=location)
+        if token.kind in COMPOUND_ASSIGN_OPS:
+            self._require_lvalue(expr)
+            self._advance()
+            value = self._parse_expression()
+            op = COMPOUND_ASSIGN_OPS[token.kind]
+            return ast.AssignStmt(target=expr, op=op, value=value, location=location)
+        if token.kind in (TokenKind.PLUS_PLUS, TokenKind.MINUS_MINUS):
+            self._require_lvalue(expr)
+            self._advance()
+            op = "+" if token.kind is TokenKind.PLUS_PLUS else "-"
+            one = ast.IntLit(value=1, location=token.location)
+            return ast.AssignStmt(target=expr, op=op, value=one, location=location)
+        return ast.ExprStmt(expr=expr, location=location)
+
+    @staticmethod
+    def _require_lvalue(expr: ast.Expr) -> None:
+        if not isinstance(expr, (ast.Name, ast.Index)):
+            raise ParseError("assignment target must be a variable or array element",
+                             expr.location)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_binary(_TERNARY_PRECEDENCE)
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self._peek()
+            precedence = _BINARY_PRECEDENCE.get(token.kind)
+            if precedence is not None and precedence > min_precedence:
+                self._advance()
+                rhs = self._parse_binary(precedence)
+                lhs = ast.Binary(op=token.text, lhs=lhs, rhs=rhs, location=token.location)
+                continue
+            if token.kind is TokenKind.QUESTION and min_precedence <= _TERNARY_PRECEDENCE:
+                self._advance()
+                then = self._parse_expression()
+                self._expect(TokenKind.COLON)
+                other = self._parse_expression()
+                lhs = ast.Ternary(cond=lhs, then=then, other=other, location=token.location)
+                continue
+            return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind in (TokenKind.MINUS, TokenKind.TILDE, TokenKind.BANG, TokenKind.PLUS):
+            self._advance()
+            operand = self._parse_unary()
+            if token.kind is TokenKind.PLUS:
+                return operand
+            return ast.Unary(op=token.text, operand=operand, location=token.location)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LIT:
+            self._advance()
+            assert token.value is not None
+            return ast.IntLit(value=token.value, location=token.location)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._at(TokenKind.LPAREN):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._at(TokenKind.RPAREN):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept(TokenKind.COMMA):
+                            break
+                self._expect(TokenKind.RPAREN)
+                return ast.Call(callee=token.text, args=args, location=token.location)
+            if self._at(TokenKind.LBRACKET):
+                self._advance()
+                index = self._parse_expression()
+                self._expect(TokenKind.RBRACKET)
+                return ast.Index(base=token.text, index=index, location=token.location)
+            return ast.Name(ident=token.text, location=token.location)
+        raise ParseError(f"expected an expression, found '{token.text or 'EOF'}'",
+                         token.location)
+
+
+def parse(source: str, filename: str = "<pps-c>") -> ast.Program:
+    """Parse PPS-C ``source`` into an AST (lexes internally)."""
+    return Parser(tokenize(source, filename)).parse_program()

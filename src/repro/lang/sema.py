@@ -1,0 +1,467 @@
+"""Semantic analysis for PPS-C.
+
+The checker validates a parsed :class:`~repro.lang.ast.Program` before
+lowering:
+
+* single top-level namespace (functions, pipes, memories, PPSes, intrinsics),
+* lexically scoped name resolution; use-before-declaration is an error,
+* arrays are only indexed, scalars never indexed, and memory/pipe names
+  appear only as the first argument of the matching intrinsics,
+* calls match arity; ``void`` calls are not used as values,
+* no recursion (every call must be fully inlinable),
+* ``break``/``continue`` appear only inside loops (or ``switch`` for break),
+* a ``pps`` body is a sequence of initialization statements followed by a
+  single infinite loop (the *PPS loop*) with no trailing statements and no
+  ``break`` out of that loop, and contains no ``return``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+from repro.lang.intrinsics import (
+    INTRINSICS,
+    PIPE_ARG_INTRINSICS,
+    REGION_ARG_INTRINSICS,
+    Effect,
+    is_intrinsic,
+)
+
+
+@dataclass
+class _Scope:
+    """One lexical scope mapping names to ``"scalar"`` or ``"array"``."""
+
+    parent: _Scope | None = None
+    names: dict[str, str] = field(default_factory=dict)
+
+    def declare(self, name: str, kind: str, location) -> None:
+        if name in self.names:
+            raise SemanticError(f"redeclaration of '{name}'", location)
+        self.names[name] = kind
+
+    def lookup(self, name: str) -> str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def is_infinite_loop(stmt: ast.Stmt) -> bool:
+    """Return True for ``while (non-zero-const)`` / ``for (...; ; ...)``."""
+    if isinstance(stmt, ast.While):
+        return isinstance(stmt.cond, ast.IntLit) and stmt.cond.value != 0
+    if isinstance(stmt, ast.For):
+        if stmt.cond is None:
+            return True
+        return isinstance(stmt.cond, ast.IntLit) and stmt.cond.value != 0
+    return False
+
+
+class SemanticChecker:
+    """Validates a program; raises :class:`SemanticError` on the first issue."""
+
+    def __init__(self, program: ast.Program):
+        self._program = program
+        self._functions = {func.name: func for func in program.functions}
+        self._pipes = {pipe.name for pipe in program.pipes}
+        self._memories = {mem.name: mem.readonly for mem in program.memories}
+        self._call_edges: dict[str, set[str]] = {}
+
+    def check(self) -> None:
+        """Run all checks over the whole program."""
+        self._check_toplevel_names()
+        for func in self._program.functions:
+            self._current_function = func.name
+            self._check_function(func)
+        for pps in self._program.ppses:
+            self._current_function = None
+            self._check_pps(pps)
+        self._check_no_recursion()
+
+    # -- top level -------------------------------------------------------
+
+    def _check_toplevel_names(self) -> None:
+        seen: dict[str, str] = {}
+        groups = [
+            ("function", self._program.functions),
+            ("pipe", self._program.pipes),
+            ("memory", self._program.memories),
+            ("pps", self._program.ppses),
+        ]
+        for kind, decls in groups:
+            for decl in decls:
+                name = decl.name
+                if is_intrinsic(name):
+                    raise SemanticError(
+                        f"'{name}' collides with an intrinsic", decl.location
+                    )
+                if name in seen:
+                    raise SemanticError(
+                        f"'{name}' already declared as a {seen[name]}", decl.location
+                    )
+                seen[name] = kind
+                if kind == "memory" and decl.size <= 0:
+                    raise SemanticError("memory size must be positive", decl.location)
+
+    def _check_function(self, func: ast.FunctionDecl) -> None:
+        self._call_edges[func.name] = set()
+        scope = _Scope()
+        seen_params: set[str] = set()
+        for param in func.params:
+            if param in seen_params:
+                raise SemanticError(f"duplicate parameter '{param}'", func.location)
+            seen_params.add(param)
+            scope.declare(param, "scalar", func.location)
+        assert func.body is not None
+        self._check_block(func.body, scope, loop_depth=0, switch_depth=0,
+                          in_pps_loop=False, func=func)
+
+    def _check_pps(self, pps: ast.PpsDecl) -> None:
+        self._call_edges[pps.name] = set()
+        self._current_function = pps.name
+        assert pps.body is not None
+        statements = pps.body.statements
+        loop_indices = [i for i, stmt in enumerate(statements) if is_infinite_loop(stmt)]
+        if len(loop_indices) != 1:
+            raise SemanticError(
+                f"pps '{pps.name}' must contain exactly one top-level infinite loop "
+                f"(found {len(loop_indices)})",
+                pps.location,
+            )
+        if loop_indices[0] != len(statements) - 1:
+            raise SemanticError(
+                f"pps '{pps.name}' has statements after its PPS loop", pps.location
+            )
+        scope = _Scope()
+        # Initialization statements run once; they may not loop infinitely,
+        # break, continue, or return.
+        for stmt in statements[:-1]:
+            self._check_stmt(stmt, scope, loop_depth=0, switch_depth=0,
+                             in_pps_loop=False, func=None)
+        pps_loop = statements[-1]
+        body_scope = _Scope(parent=scope)
+        if isinstance(pps_loop, ast.While):
+            assert pps_loop.body is not None
+            self._check_stmt(pps_loop.body, body_scope, loop_depth=0,
+                             switch_depth=0, in_pps_loop=True, func=None)
+        else:
+            assert isinstance(pps_loop, ast.For)
+            if pps_loop.init is not None:
+                self._check_stmt(pps_loop.init, body_scope, loop_depth=0,
+                                 switch_depth=0, in_pps_loop=False, func=None)
+            if pps_loop.step is not None:
+                self._check_stmt(pps_loop.step, body_scope, loop_depth=0,
+                                 switch_depth=0, in_pps_loop=True, func=None)
+            assert pps_loop.body is not None
+            self._check_stmt(pps_loop.body, body_scope, loop_depth=0,
+                             switch_depth=0, in_pps_loop=True, func=None)
+
+    def _check_no_recursion(self) -> None:
+        state: dict[str, int] = {}
+
+        def visit(name: str, chain: list[str]) -> None:
+            status = state.get(name, 0)
+            if status == 1:
+                cycle = " -> ".join(chain + [name])
+                raise SemanticError(f"recursive call chain: {cycle}")
+            if status == 2:
+                return
+            state[name] = 1
+            for callee in sorted(self._call_edges.get(name, ())):
+                visit(callee, chain + [name])
+            state[name] = 2
+
+        for name in sorted(self._call_edges):
+            visit(name, [])
+
+    # -- statements --------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: _Scope, *, loop_depth: int,
+                     switch_depth: int, in_pps_loop: bool,
+                     func: ast.FunctionDecl | None) -> None:
+        inner = _Scope(parent=scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt, inner, loop_depth=loop_depth,
+                             switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                             func=func)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope, *, loop_depth: int,
+                    switch_depth: int, in_pps_loop: bool,
+                    func: ast.FunctionDecl | None) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, loop_depth=loop_depth,
+                              switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                              func=func)
+        elif isinstance(stmt, ast.DeclStmt):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope, as_value=True)
+            kind = "array" if stmt.array_size is not None else "scalar"
+            self._check_not_global(stmt.name, stmt.location)
+            scope.declare(stmt.name, kind, stmt.location)
+        elif isinstance(stmt, ast.AssignStmt):
+            assert stmt.target is not None and stmt.value is not None
+            self._check_lvalue(stmt.target, scope)
+            self._check_expr(stmt.value, scope, as_value=True)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self._check_expr(stmt.expr, scope, as_value=False)
+        elif isinstance(stmt, ast.If):
+            assert stmt.cond is not None and stmt.then is not None
+            self._check_expr(stmt.cond, scope, as_value=True)
+            self._check_stmt(stmt.then, _Scope(parent=scope), loop_depth=loop_depth,
+                             switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                             func=func)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, _Scope(parent=scope),
+                                 loop_depth=loop_depth, switch_depth=switch_depth,
+                                 in_pps_loop=in_pps_loop, func=func)
+        elif isinstance(stmt, ast.While):
+            assert stmt.cond is not None and stmt.body is not None
+            if in_pps_loop or func is not None:
+                if is_infinite_loop(stmt) and self._loop_never_breaks(stmt.body):
+                    raise SemanticError("infinite loop with no break", stmt.location)
+            self._check_expr(stmt.cond, scope, as_value=True)
+            self._check_stmt(stmt.body, _Scope(parent=scope), loop_depth=loop_depth + 1,
+                             switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                             func=func)
+        elif isinstance(stmt, ast.DoWhile):
+            assert stmt.cond is not None and stmt.body is not None
+            self._check_stmt(stmt.body, _Scope(parent=scope), loop_depth=loop_depth + 1,
+                             switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                             func=func)
+            self._check_expr(stmt.cond, scope, as_value=True)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(parent=scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner, loop_depth=loop_depth,
+                                 switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                                 func=func)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner, as_value=True)
+            elif (in_pps_loop or func is not None) and self._loop_never_breaks(stmt.body):
+                raise SemanticError("infinite loop with no break", stmt.location)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner, loop_depth=loop_depth + 1,
+                                 switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                                 func=func)
+            assert stmt.body is not None
+            self._check_stmt(stmt.body, _Scope(parent=inner), loop_depth=loop_depth + 1,
+                             switch_depth=switch_depth, in_pps_loop=in_pps_loop,
+                             func=func)
+        elif isinstance(stmt, ast.Switch):
+            assert stmt.expr is not None
+            self._check_expr(stmt.expr, scope, as_value=True)
+            bodies = [body for _, body in stmt.cases]
+            if stmt.default is not None:
+                bodies.append(stmt.default)
+            for body in bodies:
+                inner = _Scope(parent=scope)
+                for inner_stmt in body:
+                    self._check_stmt(inner_stmt, inner, loop_depth=loop_depth,
+                                     switch_depth=switch_depth + 1,
+                                     in_pps_loop=in_pps_loop, func=func)
+        elif isinstance(stmt, ast.Break):
+            if loop_depth == 0 and switch_depth == 0:
+                raise SemanticError("'break' outside loop or switch", stmt.location)
+        elif isinstance(stmt, ast.Continue):
+            if loop_depth == 0 and not in_pps_loop:
+                raise SemanticError("'continue' outside loop", stmt.location)
+        elif isinstance(stmt, ast.Return):
+            if func is None:
+                raise SemanticError("'return' not allowed in a pps", stmt.location)
+            if func.returns_value and stmt.value is None:
+                raise SemanticError(
+                    f"function '{func.name}' must return a value", stmt.location
+                )
+            if not func.returns_value and stmt.value is not None:
+                raise SemanticError(
+                    f"void function '{func.name}' cannot return a value", stmt.location
+                )
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope, as_value=True)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unsupported statement {type(stmt).__name__}",
+                                stmt.location)
+
+    @staticmethod
+    def _loop_never_breaks(body: ast.Stmt | None) -> bool:
+        """Conservatively detect loop bodies with no ``break`` at this level."""
+
+        found = False
+
+        def walk(node: ast.Stmt | None, depth: int) -> None:
+            nonlocal found
+            if node is None or found:
+                return
+            if isinstance(node, ast.Break) and depth == 0:
+                found = True
+            elif isinstance(node, ast.Return):
+                found = True  # a return exits the loop too
+            elif isinstance(node, ast.Block):
+                for item in node.statements:
+                    walk(item, depth)
+            elif isinstance(node, ast.If):
+                walk(node.then, depth)
+                walk(node.other, depth)
+            elif isinstance(node, (ast.While, ast.DoWhile, ast.For)):
+                walk(node.body, depth + 1)
+            elif isinstance(node, ast.Switch):
+                for _, stmts in node.cases:
+                    for item in stmts:
+                        walk(item, depth + 1)
+                for item in node.default or []:
+                    walk(item, depth + 1)
+
+        walk(body, 0)
+        return not found
+
+    def _check_not_global(self, name: str, location) -> None:
+        if name in self._pipes or name in self._memories:
+            raise SemanticError(
+                f"'{name}' shadows a global pipe/memory declaration", location
+            )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_lvalue(self, expr: ast.Expr, scope: _Scope) -> None:
+        if isinstance(expr, ast.Name):
+            kind = scope.lookup(expr.ident)
+            if kind is None:
+                self._undeclared(expr.ident, expr.location)
+            if kind == "array":
+                raise SemanticError(
+                    f"cannot assign to array '{expr.ident}' as a whole", expr.location
+                )
+        elif isinstance(expr, ast.Index):
+            self._check_index(expr, scope)
+        else:  # pragma: no cover - parser enforces lvalue shapes
+            raise SemanticError("invalid assignment target", expr.location)
+
+    def _check_index(self, expr: ast.Index, scope: _Scope) -> None:
+        kind = scope.lookup(expr.base)
+        if kind is None:
+            self._undeclared(expr.base, expr.location)
+        if kind != "array":
+            raise SemanticError(f"'{expr.base}' is not an array", expr.location)
+        assert expr.index is not None
+        self._check_expr(expr.index, scope, as_value=True)
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope, *, as_value: bool) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.Name):
+            kind = scope.lookup(expr.ident)
+            if kind is None:
+                self._undeclared(expr.ident, expr.location)
+            if kind == "array":
+                raise SemanticError(
+                    f"array '{expr.ident}' used without an index", expr.location
+                )
+            return
+        if isinstance(expr, ast.Index):
+            self._check_index(expr, scope)
+            return
+        if isinstance(expr, ast.Unary):
+            assert expr.operand is not None
+            self._check_expr(expr.operand, scope, as_value=True)
+            return
+        if isinstance(expr, ast.Binary):
+            assert expr.lhs is not None and expr.rhs is not None
+            self._check_expr(expr.lhs, scope, as_value=True)
+            self._check_expr(expr.rhs, scope, as_value=True)
+            return
+        if isinstance(expr, ast.Ternary):
+            assert expr.cond is not None
+            assert expr.then is not None and expr.other is not None
+            self._check_expr(expr.cond, scope, as_value=True)
+            self._check_expr(expr.then, scope, as_value=True)
+            self._check_expr(expr.other, scope, as_value=True)
+            return
+        if isinstance(expr, ast.Call):
+            self._check_call(expr, scope, as_value=as_value)
+            return
+        raise SemanticError(  # pragma: no cover - parser produces no other nodes
+            f"unsupported expression {type(expr).__name__}", expr.location
+        )
+
+    def _check_call(self, call: ast.Call, scope: _Scope, *, as_value: bool) -> None:
+        if is_intrinsic(call.callee):
+            self._check_intrinsic_call(call, scope, as_value=as_value)
+            return
+        func = self._functions.get(call.callee)
+        if func is None:
+            raise SemanticError(f"call to undeclared function '{call.callee}'",
+                                call.location)
+        if len(call.args) != len(func.params):
+            raise SemanticError(
+                f"'{call.callee}' expects {len(func.params)} argument(s), "
+                f"got {len(call.args)}",
+                call.location,
+            )
+        if as_value and not func.returns_value:
+            raise SemanticError(
+                f"void function '{call.callee}' used as a value", call.location
+            )
+        if self._current_function is not None:
+            self._call_edges.setdefault(self._current_function, set()).add(call.callee)
+        for arg in call.args:
+            self._check_expr(arg, scope, as_value=True)
+
+    def _check_intrinsic_call(self, call: ast.Call, scope: _Scope, *,
+                              as_value: bool) -> None:
+        intrinsic = INTRINSICS[call.callee]
+        if len(call.args) != intrinsic.argc:
+            raise SemanticError(
+                f"intrinsic '{call.callee}' expects {intrinsic.argc} argument(s), "
+                f"got {len(call.args)}",
+                call.location,
+            )
+        if as_value and not intrinsic.returns_value:
+            raise SemanticError(
+                f"void intrinsic '{call.callee}' used as a value", call.location
+            )
+        args = list(call.args)
+        if call.callee in REGION_ARG_INTRINSICS:
+            region = args.pop(0)
+            if not isinstance(region, ast.Name) or region.ident not in self._memories:
+                raise SemanticError(
+                    f"first argument of '{call.callee}' must name a declared memory",
+                    call.location,
+                )
+            if intrinsic.effect is Effect.MEM_WRITE and self._memories[region.ident]:
+                raise SemanticError(
+                    f"'{call.callee}' writes readonly memory '{region.ident}'",
+                    call.location,
+                )
+        elif call.callee in PIPE_ARG_INTRINSICS:
+            pipe = args.pop(0)
+            if not isinstance(pipe, ast.Name) or pipe.ident not in self._pipes:
+                raise SemanticError(
+                    f"first argument of '{call.callee}' must name a declared pipe",
+                    call.location,
+                )
+        for arg in args:
+            self._check_expr(arg, scope, as_value=True)
+
+    def _undeclared(self, name: str, location) -> None:
+        if name in self._pipes:
+            raise SemanticError(
+                f"pipe '{name}' can only be used as a pipe intrinsic argument", location
+            )
+        if name in self._memories:
+            raise SemanticError(
+                f"memory '{name}' can only be used as a memory intrinsic argument",
+                location,
+            )
+        raise SemanticError(f"use of undeclared variable '{name}'", location)
+
+
+def check(program: ast.Program) -> ast.Program:
+    """Validate ``program`` and return it (for call chaining)."""
+    SemanticChecker(program).check()
+    return program

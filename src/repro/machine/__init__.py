@@ -1,0 +1,15 @@
+"""Machine model: transmission cost parameters and the IXP2800 description."""
+
+from repro.machine.costs import NN_RING, SCRATCH_RING, SRAM_RING, CostModel
+from repro.machine.ixp import IXP2800, IXP2400, ProcessingEngine, NetworkProcessor
+
+__all__ = [
+    "CostModel",
+    "IXP2400",
+    "IXP2800",
+    "NN_RING",
+    "NetworkProcessor",
+    "ProcessingEngine",
+    "SCRATCH_RING",
+    "SRAM_RING",
+]

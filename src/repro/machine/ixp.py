@@ -1,0 +1,79 @@
+"""A small structural model of Intel IXP network processors (paper §2).
+
+Only what the evaluation needs: the processing-engine inventory, which PE
+pairs are nearest neighbors (NN rings connect adjacent engines in the two
+clusters), and a helper that maps a pipeline of ``d`` stages onto engines
+and picks the channel cost model per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.costs import NN_RING, SCRATCH_RING, CostModel
+
+
+@dataclass(frozen=True)
+class ProcessingEngine:
+    """One MicroEngine: an independent processor with 8 hardware threads."""
+
+    index: int
+    cluster: int
+    threads: int = 8
+
+
+@dataclass
+class NetworkProcessor:
+    """An IXP-style NP: clusters of MicroEngines chained by NN rings."""
+
+    name: str
+    engines: list[ProcessingEngine] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, name: str, clusters: int, engines_per_cluster: int,
+              threads: int = 8) -> "NetworkProcessor":
+        engines = []
+        index = 0
+        for cluster in range(clusters):
+            for _ in range(engines_per_cluster):
+                engines.append(ProcessingEngine(index, cluster, threads))
+                index += 1
+        return cls(name, engines)
+
+    @property
+    def engine_count(self) -> int:
+        return len(self.engines)
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        """NN rings connect consecutive engines within a cluster."""
+        first, second = self.engines[a], self.engines[b]
+        return first.cluster == second.cluster and abs(a - b) == 1
+
+    def channel_for(self, a: int, b: int) -> CostModel:
+        """The cheapest channel available between engines ``a`` and ``b``."""
+        return NN_RING if self.are_neighbors(a, b) else SCRATCH_RING
+
+    def map_pipeline(self, stages: int, first_engine: int = 0) -> list[int]:
+        """Assign ``stages`` consecutive engines starting at ``first_engine``.
+
+        Raises ``ValueError`` if the NP does not have enough engines — the
+        paper's static-guarantee stance: a mapping either exists at compile
+        time or the configuration is rejected.
+        """
+        if first_engine + stages > self.engine_count:
+            raise ValueError(
+                f"{self.name}: cannot map {stages} stages starting at engine "
+                f"{first_engine} ({self.engine_count} engines available)"
+            )
+        return list(range(first_engine, first_engine + stages))
+
+    def channels_for_pipeline(self, engines: list[int]) -> list[CostModel]:
+        """Per-hop cost models for a mapped pipeline."""
+        return [self.channel_for(a, b) for a, b in zip(engines, engines[1:])]
+
+
+#: The IXP2800: 16 MicroEngines in two clusters of eight (paper Figure 1).
+IXP2800 = NetworkProcessor.build("IXP2800", clusters=2, engines_per_cluster=8)
+
+#: The IXP2400: 8 MicroEngines in two clusters of four.
+IXP2400 = NetworkProcessor.build("IXP2400", clusters=2, engines_per_cluster=4)

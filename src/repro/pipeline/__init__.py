@@ -1,0 +1,16 @@
+"""The pipelining transformation (paper §3)."""
+
+from repro.pipeline.cuts import CutDiagnostics, StageAssignment, select_stages
+from repro.pipeline.replicate import ReplicationResult, replicate_pps
+from repro.pipeline.transform import PipelineError, PipelineResult, pipeline_pps
+
+__all__ = [
+    "CutDiagnostics",
+    "PipelineError",
+    "PipelineResult",
+    "ReplicationResult",
+    "StageAssignment",
+    "pipeline_pps",
+    "replicate_pps",
+    "select_stages",
+]

@@ -1,0 +1,318 @@
+"""Selection of the D−1 successive balanced minimum cuts (paper §3.3).
+
+``select_stages`` repeatedly slices the next pipeline stage off the front
+of the remaining dependence units: for cut *i* the balance target is
+``W(remaining) / (D - i + 1)`` — each cut takes one fair share of what is
+left, so the D stages come out even when the dependence structure allows.
+
+The result is a :class:`StageAssignment`: every basic block of the PPS
+loop body mapped to a stage in ``1..D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dependence_graph import LoopDependenceModel
+from repro.flownet.balanced_cut import BalancedCut, BalancedCutResult
+from repro.flownet.model import build_cut_network
+from repro.machine.costs import NN_RING, CostModel
+
+
+@dataclass
+class CutDiagnostics:
+    """Per-cut record for reporting and the ablation benchmarks."""
+
+    stage: int
+    target: float
+    weight: int
+    cut_value: int
+    balanced: bool
+    iterations: int
+
+
+@dataclass
+class StageAssignment:
+    """The outcome of cut selection.
+
+    Attributes:
+        degree: Requested pipelining degree D.
+        block_stage: Map from body block name to stage number (1-based).
+        unit_stage: Map from dependence unit id to stage number.
+        diagnostics: One record per selected cut.
+    """
+
+    degree: int
+    block_stage: dict[str, int] = field(default_factory=dict)
+    unit_stage: dict[int, int] = field(default_factory=dict)
+    diagnostics: list[CutDiagnostics] = field(default_factory=list)
+
+    def blocks_of_stage(self, stage: int) -> list[str]:
+        return [name for name, s in self.block_stage.items() if s == stage]
+
+    def stage_weights(self, model: LoopDependenceModel) -> dict[int, int]:
+        weights = {stage: 0 for stage in range(1, self.degree + 1)}
+        for unit, stage in self.unit_stage.items():
+            weights[stage] += model.unit_weight(unit)
+        return weights
+
+
+def unit_profile_dims(model: LoopDependenceModel,
+                      profiles: list[dict[str, float]]) -> dict[int, tuple]:
+    """Per-unit weight vectors from per-class block frequencies.
+
+    ``profiles[d]`` maps block names to executions-per-iteration under
+    traffic class ``d``; the unit's weight in dimension ``d`` is the sum of
+    block static weights scaled by those frequencies (the paper's flexible
+    weight function, instantiated with profile data).
+    """
+    dims: dict[int, tuple] = {}
+    for unit in model.units.members:
+        vector = []
+        for profile in profiles:
+            total = 0.0
+            for block_name in model.unit_blocks(unit):
+                frequency = profile.get(block_name, 0.0)
+                if frequency:
+                    total += model.ssa.block(block_name).weight() * frequency
+            vector.append(total)
+        dims[unit] = tuple(vector)
+    return dims
+
+
+def select_stages(model: LoopDependenceModel, degree: int, *,
+                  costs: CostModel = NN_RING,
+                  epsilon: float = 1.0 / 16.0,
+                  incremental: bool = True,
+                  profiles: list[dict[str, float]] | None = None) -> StageAssignment:
+    """Assign every dependence unit (and block) to one of ``degree`` stages.
+
+    ``profiles`` optionally activates dimensional balance: one block-
+    frequency map per traffic class (see :func:`unit_profile_dims`).
+    """
+    if degree < 1:
+        raise ValueError("pipelining degree must be >= 1")
+    assignment = StageAssignment(degree=degree)
+    all_units = set(model.units.members)
+    remaining = set(all_units)
+    placed: set[int] = set()
+    unit_dims = unit_profile_dims(model, profiles) if profiles else None
+
+    for stage in range(1, degree):
+        if not remaining:
+            break
+        remaining_weight = sum(model.unit_weight(unit) for unit in remaining)
+        stages_left = degree - stage + 1
+        target = remaining_weight / stages_left
+        cut_net = build_cut_network(model, remaining, placed, costs)
+        finder = BalancedCut(
+            epsilon=epsilon, incremental=incremental,
+            forceable=lambda key: isinstance(key, tuple) and key
+            and key[0] == "unit",
+        )
+        dims = None
+        dim_targets = None
+        if unit_dims is not None:
+            network = cut_net.network
+            dims = {}
+            totals = [0.0] * len(profiles)
+            for unit in remaining:
+                vector = unit_dims[unit]
+                dims[network.node(("unit", unit))] = vector
+                for index, value in enumerate(vector):
+                    totals[index] += value
+            dim_targets = tuple(value / stages_left for value in totals)
+        result = finder.find(cut_net.network, target, dims=dims,
+                             dim_targets=dim_targets)
+        chosen = cut_net.units_of_cut(result.source_side) & remaining
+        if not chosen and len(remaining) > 1:
+            # Give the stage the lightest dependence-source unit so the
+            # pipeline always makes progress (the header first of all).
+            if not placed and model.header_unit in remaining:
+                chosen = {model.header_unit}
+            else:
+                sources = _frontier_units(model, remaining)
+                chosen = {min(sources, key=lambda u: (model.unit_weight(u), u))}
+        for unit in chosen:
+            assignment.unit_stage[unit] = stage
+        placed |= chosen
+        remaining -= chosen
+        assignment.diagnostics.append(CutDiagnostics(
+            stage=stage,
+            target=target,
+            weight=sum(model.unit_weight(unit) for unit in chosen),
+            cut_value=result.cut_value,
+            balanced=result.balanced,
+            iterations=result.iterations,
+        ))
+        if not remaining:
+            break
+
+    for unit in remaining:
+        assignment.unit_stage[unit] = degree
+
+    if unit_dims is not None:
+        refine_stages(model, assignment, unit_dims)
+
+    # Unit -> block expansion.
+    for unit, stage in assignment.unit_stage.items():
+        for block_name in model.unit_blocks(unit):
+            assignment.block_stage[block_name] = stage
+    _validate(model, assignment)
+    return assignment
+
+
+def refine_stages(model: LoopDependenceModel, assignment: StageAssignment,
+                  unit_dims: dict[int, tuple], *,
+                  max_moves: int = 2000) -> int:
+    """Greedy stage refinement: move units between adjacent stages to
+    minimize the worst per-dimension stage load.
+
+    A unit may move one stage later (earlier) when none of its constraint
+    successors (predecessors) would end up behind (ahead of) it — the same
+    legality the flow network encodes.  Returns the number of moves.
+    """
+    degree = assignment.degree
+    n_dims = len(next(iter(unit_dims.values()))) if unit_dims else 0
+    if n_dims == 0:
+        return 0
+    # Constraint adjacency at unit granularity (dependences + CFG).
+    succs: dict[int, set[int]] = {unit: set() for unit in assignment.unit_stage}
+    preds: dict[int, set[int]] = {unit: set() for unit in assignment.unit_stage}
+    for edge in model.unit_edges():
+        if edge.src != edge.dst:
+            succs[edge.src].add(edge.dst)
+            preds[edge.dst].add(edge.src)
+    for src_node in model.sgraph.nodes:
+        src_unit = model.unit_of_node(src_node)
+        for dst_node in model.sgraph.succs(src_node):
+            dst_unit = model.unit_of_node(dst_node)
+            if src_unit != dst_unit:
+                succs[src_unit].add(dst_unit)
+                preds[dst_unit].add(src_unit)
+
+    loads = [[0.0] * n_dims for _ in range(degree + 1)]  # 1-based stages
+    for unit, stage in assignment.unit_stage.items():
+        for index, value in enumerate(unit_dims[unit]):
+            loads[stage][index] += value
+
+    totals = [sum(loads[stage][index] for stage in range(1, degree + 1)) or 1.0
+              for index in range(n_dims)]
+
+    def objective() -> float:
+        # Smooth surrogate for the per-dimension makespan: normalized sum
+        # of squared stage loads (any evening move improves it, so greedy
+        # descent does not get trapped the way max-objectives do).
+        value = 0.0
+        for index in range(n_dims):
+            scale = totals[index]
+            for stage in range(1, degree + 1):
+                share = loads[stage][index] / scale
+                value += share * share
+        return value
+
+    header_unit = model.header_unit
+    latch_unit = model.latch_unit
+
+    def closure(unit: int, *, forward: bool) -> set[int] | None:
+        """The unit plus its same-stage descendants (forward) / ancestors.
+
+        Moving the whole group one stage later (earlier) is always legal:
+        every constraint leaving the group already points at a later
+        (earlier) stage.  Returns None if the group touches the pinned
+        header or latch units.
+        """
+        stage = assignment.unit_stage[unit]
+        neighbors = succs if forward else preds
+        group = {unit}
+        work = [unit]
+        while work:
+            current = work.pop()
+            for neighbor in neighbors[current]:
+                if (assignment.unit_stage[neighbor] == stage
+                        and neighbor not in group):
+                    group.add(neighbor)
+                    work.append(neighbor)
+        if header_unit in group or latch_unit in group:
+            return None
+        return group
+
+    def apply(group: set[int], stage: int, new_stage: int, sign: int) -> None:
+        for member in group:
+            for index, value in enumerate(unit_dims[member]):
+                loads[stage][index] -= sign * value
+                loads[new_stage][index] += sign * value
+
+    moves = 0
+    improved = True
+    while improved and moves < max_moves:
+        improved = False
+        best_value = objective()
+        best_move = None
+        for unit, stage in list(assignment.unit_stage.items()):
+            if unit in (header_unit, latch_unit):
+                continue
+            for delta in (1, -1):
+                new_stage = stage + delta
+                if not 1 <= new_stage <= degree:
+                    continue
+                group = closure(unit, forward=(delta > 0))
+                if group is None or len(group) > 64:
+                    continue
+                apply(group, stage, new_stage, +1)
+                value_after = objective()
+                apply(group, stage, new_stage, -1)
+                if value_after < best_value - 1e-9:
+                    best_value = value_after
+                    best_move = (group, stage, new_stage)
+        if best_move is not None:
+            group, stage, new_stage = best_move
+            for member in group:
+                assignment.unit_stage[member] = new_stage
+            apply(group, stage, new_stage, +1)
+            moves += 1
+            improved = True
+    return moves
+
+
+def _frontier_units(model: LoopDependenceModel, remaining: set[int]) -> set[int]:
+    """Units in ``remaining`` with no dependence or control-flow
+    predecessor in ``remaining`` (safe to peel into the next stage)."""
+    has_pred: set[int] = set()
+    for edge in model.unit_edges():
+        if edge.src in remaining and edge.dst in remaining and edge.src != edge.dst:
+            has_pred.add(edge.dst)
+    for src_node in model.sgraph.nodes:
+        src_unit = model.unit_of_node(src_node)
+        for dst_node in model.sgraph.succs(src_node):
+            dst_unit = model.unit_of_node(dst_node)
+            if (src_unit != dst_unit and src_unit in remaining
+                    and dst_unit in remaining):
+                has_pred.add(dst_unit)
+    frontier = remaining - has_pred
+    return frontier or set(remaining)
+
+
+def _validate(model: LoopDependenceModel, assignment: StageAssignment) -> None:
+    """Every dependence must point forward (or stay) in the stage order."""
+    stage_of = assignment.unit_stage
+    for edge in model.unit_edges():
+        src_stage = stage_of[edge.src]
+        dst_stage = stage_of[edge.dst]
+        if src_stage > dst_stage:
+            raise AssertionError(
+                f"dependence violated: unit {edge.src} (stage {src_stage}) "
+                f"-> unit {edge.dst} (stage {dst_stage}) [{edge.kind}]"
+            )
+    for src_node in model.sgraph.nodes:
+        for dst_node in model.sgraph.succs(src_node):
+            src_stage = stage_of[model.unit_of_node(src_node)]
+            dst_stage = stage_of[model.unit_of_node(dst_node)]
+            if src_stage > dst_stage:
+                raise AssertionError(
+                    f"control-flow contiguity violated: node {src_node} "
+                    f"(stage {src_stage}) -> node {dst_node} (stage {dst_stage})"
+                )
+    header_stage = stage_of[model.header_unit]
+    if header_stage != 1:
+        raise AssertionError(f"header unit landed in stage {header_stage}")

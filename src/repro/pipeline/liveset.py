@@ -1,0 +1,160 @@
+"""Live-set computation, interference, and message layouts (paper §3.4.1).
+
+For the cut between stages ``k`` and ``k+1`` the transmitted message is:
+
+* one **control word** — the entry target: which block the downstream
+  stage must resume at (the paper's Figure 3 ``c`` variable, i.e. the
+  aggregated control objects), and
+* the **live set** — registers live at the crossed control-flow edge
+  ("roughly speaking, the contents of live registers").
+
+Three transmission strategies are modelled, mirroring Figures 10–12:
+
+* ``conditionalized`` — each live object is sent with its own pipe
+  operation on each specific path (small messages, many ring operations,
+  large critical section — the paper's Figure 10 anti-pattern);
+* ``unified`` — a single aggregate message containing every object that is
+  live at *any* edge of the cut (Figure 11; naive: objects that are never
+  simultaneously live still occupy distinct words);
+* ``packed`` — the unified message with interference-colored slots: two
+  objects share a word when no entry target needs both (Figure 12; the
+  interference relation excludes the impossible paths of Figure 13).
+
+Variables whose every definition lies in the PPS prologue are excluded:
+the prologue is replicated into every stage, so each stage recomputes them
+locally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.liveness import Liveness
+from repro.ir.function import Function
+from repro.ir.values import VReg
+from repro.pipeline.coloring import color_graph
+
+
+class Strategy(enum.Enum):
+    """Live-set transmission strategy (paper Figures 10-12)."""
+
+    CONDITIONALIZED = "conditionalized"
+    UNIFIED = "unified"
+    PACKED = "packed"
+
+
+@dataclass
+class CutLayout:
+    """Message layout for the cut between stage ``k`` and stage ``k+1``.
+
+    Attributes:
+        cut_index: k (1-based; the cut after stage k).
+        targets: Entry blocks downstream, in canonical order; the control
+            word transmits an index into this list.
+        edges: The crossed CFG edges, per target.
+        live_sets: Per-target live registers, in canonical order.
+        variables: Union of all live sets, in canonical order (the naive
+            unified layout: one word per variable).
+        slot_of: Packed layout: variable -> slot index.
+        slot_count: Number of packed slots.
+    """
+
+    cut_index: int
+    targets: list[str]
+    edges: dict[str, list[str]]
+    live_sets: dict[str, list[VReg]]
+    variables: list[VReg]
+    slot_of: dict[VReg, int]
+    slot_count: int
+
+    def target_index(self, block_name: str) -> int:
+        return self.targets.index(block_name)
+
+    def words(self, strategy: Strategy) -> int:
+        """Aggregate message size in words (control word included).
+
+        For the conditionalized strategy this is the worst case over
+        targets (each object travels in its own message).
+        """
+        if strategy is Strategy.UNIFIED:
+            return 1 + len(self.variables)
+        if strategy is Strategy.PACKED:
+            return 1 + self.slot_count
+        return 1 + max((len(regs) for regs in self.live_sets.values()),
+                       default=0)
+
+
+def _canonical(regs) -> list[VReg]:
+    return sorted(regs, key=lambda reg: reg.name)
+
+
+def compute_cut_layouts(function: Function, body_blocks: list[str],
+                        block_stage: dict[str, int], degree: int,
+                        *, interference: str = "exact") -> list[CutLayout]:
+    """Compute the message layout of every cut (1..degree-1).
+
+    ``interference`` selects the relation used for packing:
+
+    * ``"exact"`` — objects interfere only when some entry target needs
+      both (impossible paths excluded, paper Figures 14-16);
+    * ``"pessimistic"`` — every pair of live-set objects interferes
+      (packing degenerates to the naive unified layout, the effect of the
+      false interference of Figure 13).
+    """
+    liveness = Liveness(function)
+    body = set(body_blocks)
+
+    # Variables computed by the replicated prologue never cross a cut.
+    body_defined: set[VReg] = set()
+    for name in body_blocks:
+        for inst in function.block(name).all_instructions():
+            body_defined.update(inst.defs())
+
+    layouts: list[CutLayout] = []
+    for cut in range(1, degree):
+        edges: dict[str, list[str]] = {}
+        for name in body_blocks:
+            src_stage = block_stage[name]
+            if src_stage > cut:
+                continue
+            for succ in function.block(name).successors():
+                if succ in body and block_stage.get(succ, 0) > cut:
+                    edges.setdefault(succ, []).append(name)
+        targets = sorted(edges)
+        live_sets: dict[str, list[VReg]] = {}
+        union: set[VReg] = set()
+        for target in targets:
+            live = {reg for reg in liveness.live_in[target]
+                    if reg in body_defined}
+            live_sets[target] = _canonical(live)
+            union |= live
+        variables = _canonical(union)
+
+        if interference == "exact":
+            conflict = {reg: set() for reg in variables}
+            for regs in live_sets.values():
+                for i, reg_a in enumerate(regs):
+                    for reg_b in regs[i + 1 :]:
+                        conflict[reg_a].add(reg_b)
+                        conflict[reg_b].add(reg_a)
+        elif interference == "pessimistic":
+            conflict = {
+                reg: {other for other in variables if other is not reg}
+                for reg in variables
+            }
+        else:
+            raise ValueError(f"unknown interference mode {interference!r}")
+
+        slot_of = color_graph(variables, conflict)
+        slot_count = (max(slot_of.values()) + 1) if slot_of else 0
+        layouts.append(CutLayout(
+            cut_index=cut,
+            targets=targets,
+            edges={target: sorted(preds) for target, preds in edges.items()},
+            live_sets=live_sets,
+            variables=variables,
+            slot_of=slot_of,
+            slot_count=slot_count,
+        ))
+    return layouts

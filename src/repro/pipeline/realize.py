@@ -1,0 +1,263 @@
+"""Realization of pipeline stages (paper §3.4).
+
+Each stage becomes a self-contained PPS (an IR function with its own
+infinite loop):
+
+* the original PPS **prologue** (side-effect-free initialization) is
+  replicated into every stage;
+* stage 1 starts each iteration at the original loop header; stages k>1
+  start by receiving the cut message from the stage pipe and **dispatching
+  on the control word** to the right entry block (the paper's
+  reconstruction of control flow from control objects, §3.4.2 — a
+  downstream stage "begins executing at the right program point");
+* a block whose original successor lies in a later stage jumps instead to
+  a **send block** that packs and transmits the live set plus the control
+  word (paper Figure 9), then ends the local iteration;
+* entry targets that belong to an even later stage are **forwarded**:
+  unpacked and immediately re-sent on the next stage pipe.
+
+Block names are preserved, so stage CFGs remain comparable with the
+original PPS for testing and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import PpsLoop
+from repro.ir.clone import clone_instruction, clone_terminator
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Assign, Jump, PipeIn, PipeOut, SwitchTerm
+from repro.ir.values import Const, PipeRef, VReg
+from repro.machine.costs import CostModel
+from repro.pipeline.cuts import StageAssignment
+from repro.pipeline.liveset import CutLayout, Strategy
+
+
+@dataclass
+class StageProgram:
+    """One realized pipeline stage."""
+
+    index: int                 # 1-based stage number
+    function: Function
+    in_pipe: PipeRef | None    # None for stage 1
+    out_pipe: PipeRef | None   # None for the last stage
+    local_blocks: list[str] = field(default_factory=list)
+
+
+def stage_pipe_name(pps_name: str, cut: int) -> str:
+    """Canonical name of the pipe that carries cut ``cut``'s messages."""
+    return f"{pps_name}.xfer{cut}"
+
+
+class _StageBuilder:
+    """Builds the IR function of one pipeline stage."""
+
+    def __init__(self, source: Function, loop: PpsLoop,
+                 assignment: StageAssignment, layouts: list[CutLayout],
+                 costs: CostModel, strategy: Strategy, pps_name: str,
+                 stage: int):
+        self.source = source
+        self.loop = loop
+        self.assignment = assignment
+        self.layouts = layouts
+        self.costs = costs
+        self.strategy = strategy
+        self.pps_name = pps_name
+        self.stage = stage
+        self.degree = assignment.degree
+        self.body = set(loop.body)
+        self.function = Function(f"{pps_name}.s{stage}of{self.degree}")
+        self.function.arrays = dict(source.arrays)
+        self.in_layout = layouts[stage - 2] if stage > 1 else None
+        self.out_layout = layouts[stage - 1] if stage < self.degree else None
+        self.in_pipe = (PipeRef(stage_pipe_name(pps_name, stage - 1))
+                        if stage > 1 else None)
+        self.out_pipe = (PipeRef(stage_pipe_name(pps_name, stage))
+                         if stage < self.degree else None)
+        self.local_blocks = [name for name in loop.body
+                             if assignment.block_stage[name] == stage]
+        self._send_blocks: dict[str, str] = {}
+        self._in_slots: list[VReg] = []
+        self._out_slots: list[VReg] = []
+        self._ctl_in: VReg | None = None
+
+    # -- naming -----------------------------------------------------------
+
+    @property
+    def loop_start(self) -> str:
+        """The block that begins each iteration of this stage's loop."""
+        return self.loop.header if self.stage == 1 else "stage_recv"
+
+    def _named_block(self, name: str) -> BasicBlock:
+        block = BasicBlock(name)
+        self.function.adopt_block(block)
+        return block
+
+    # -- main -----------------------------------------------------------------
+
+    def build(self) -> StageProgram:
+        self._clone_prologue()
+        self._build_receive()
+        self._clone_stage_blocks()
+        self._build_latch_stub()
+        self.function.remove_unreachable_blocks()
+        return StageProgram(
+            index=self.stage,
+            function=self.function,
+            in_pipe=self.in_pipe,
+            out_pipe=self.out_pipe,
+            local_blocks=[name for name in self.local_blocks
+                          if name in self.function.blocks],
+        )
+
+    # -- prologue ----------------------------------------------------------------
+
+    def _clone_prologue(self) -> None:
+        prologue = [name for name in self.source.block_order
+                    if name not in self.body]
+        for name in prologue:
+            source_block = self.source.block(name)
+            block = self._named_block(name)
+            for inst in source_block.instructions:
+                block.append(clone_instruction(inst))
+            terminator = clone_terminator(source_block.terminator)
+            terminator.retarget({self.loop.header: self.loop_start})
+            block.set_terminator(terminator)
+        self.function.entry = self.source.entry
+
+    # -- receive & dispatch -----------------------------------------------------
+
+    def _build_receive(self) -> None:
+        if self.stage == 1 or self.in_layout is None:
+            return
+        layout = self.in_layout
+        assert self.in_pipe is not None
+        recv = self._named_block("stage_recv")
+        self._ctl_in = self.function.new_reg("ctl_in")
+        if self.strategy is Strategy.UNIFIED:
+            dests = [self._ctl_in] + list(layout.variables)
+            recv.append(self._pipe_in(dests))
+        elif self.strategy is Strategy.PACKED:
+            self._in_slots = [self.function.new_reg(f"sin{i}")
+                              for i in range(layout.slot_count)]
+            recv.append(self._pipe_in([self._ctl_in] + self._in_slots))
+        else:  # CONDITIONALIZED: control word first, objects per target
+            recv.append(self._pipe_in([self._ctl_in]))
+
+        cases: dict[int, str] = {}
+        for target in layout.targets:
+            index = layout.target_index(target)
+            entry = self._named_block(f"enter_{target}")
+            cases[index] = entry.name
+            if self.strategy is Strategy.PACKED:
+                for reg in layout.live_sets[target]:
+                    entry.append(Assign(reg, self._in_slots[layout.slot_of[reg]]))
+            elif self.strategy is Strategy.CONDITIONALIZED:
+                for reg in layout.live_sets[target]:
+                    entry.append(self._pipe_in([reg]))
+            target_stage = self.assignment.block_stage[target]
+            if target_stage == self.stage:
+                entry.set_terminator(Jump(target))
+            else:
+                # Forward to a later stage through our send path.
+                entry.set_terminator(Jump(self._send_block(target)))
+        default = cases[0] if cases else self.loop_start
+        recv.set_terminator(SwitchTerm(self._ctl_in, cases, default))
+
+    # -- stage body ---------------------------------------------------------------
+
+    def _clone_stage_blocks(self) -> None:
+        for name in self.local_blocks:
+            source_block = self.source.block(name)
+            block = self._named_block(name)
+            for inst in source_block.instructions:
+                block.append(clone_instruction(inst))
+            terminator = clone_terminator(source_block.terminator)
+            mapping: dict[str, str] = {}
+            for succ in terminator.successors():
+                mapping[succ] = self._route_successor(name, succ)
+            terminator.retarget(mapping)
+            block.set_terminator(terminator)
+
+    def _route_successor(self, block_name: str, succ: str) -> str:
+        if block_name == self.loop.latch and succ == self.loop.header:
+            return self.loop_start  # the PPS back edge
+        succ_stage = self.assignment.block_stage.get(succ)
+        assert succ_stage is not None, f"successor {succ} outside loop body"
+        if succ_stage == self.stage:
+            return succ
+        if succ_stage < self.stage:
+            raise AssertionError(
+                f"control-flow edge {block_name} -> {succ} goes backwards "
+                f"(stage {self.stage} -> {succ_stage})"
+            )
+        return self._send_block(succ)
+
+    # -- send path -----------------------------------------------------------------
+
+    def _send_block(self, target: str) -> str:
+        """The block that transmits the cut message for entry ``target``."""
+        if target in self._send_blocks:
+            return self._send_blocks[target]
+        assert self.out_layout is not None and self.out_pipe is not None, (
+            f"stage {self.stage} has no downstream pipe for target {target}"
+        )
+        layout = self.out_layout
+        index = layout.target_index(target)
+        block = self._named_block(f"xfer_to_{target}")
+        if self.strategy is Strategy.UNIFIED:
+            values = [Const(index)] + list(layout.variables)
+            block.append(self._pipe_out(values))
+        elif self.strategy is Strategy.PACKED:
+            if not self._out_slots:
+                self._out_slots = [self.function.new_reg(f"sout{i}")
+                                   for i in range(layout.slot_count)]
+            for reg in layout.live_sets[target]:
+                block.append(Assign(self._out_slots[layout.slot_of[reg]], reg))
+            block.append(self._pipe_out([Const(index)] + self._out_slots))
+        else:  # CONDITIONALIZED
+            block.append(self._pipe_out([Const(index)]))
+            for reg in layout.live_sets[target]:
+                block.append(self._pipe_out([reg]))
+        block.set_terminator(Jump("stage_latch"))
+        self._send_blocks[target] = block.name
+        return block.name
+
+    def _build_latch_stub(self) -> None:
+        """Non-final stages end each iteration at a latch stub."""
+        if self.stage == self.degree:
+            return  # the original latch closes the loop
+        latch = self._named_block("stage_latch")
+        latch.set_terminator(Jump(self.loop_start))
+
+    # -- pipe helpers -----------------------------------------------------------------
+
+    def _pipe_in(self, dests: list[VReg]) -> PipeIn:
+        assert self.in_pipe is not None
+        return PipeIn(dests, self.in_pipe,
+                      per_word_cost=self.costs.recv_per_word,
+                      fixed_cost=self.costs.recv_fixed)
+
+    def _pipe_out(self, values) -> PipeOut:
+        assert self.out_pipe is not None
+        return PipeOut(values, self.out_pipe,
+                       per_word_cost=self.costs.send_per_word,
+                       fixed_cost=self.costs.send_fixed)
+
+
+def realize_stages(source: Function, loop: PpsLoop,
+                   assignment: StageAssignment, layouts: list[CutLayout],
+                   module: Module, costs: CostModel, strategy: Strategy,
+                   pps_name: str) -> list[StageProgram]:
+    """Build the IR function of every pipeline stage and register the
+    stage pipes in ``module``."""
+    stages = []
+    for stage in range(1, assignment.degree + 1):
+        builder = _StageBuilder(source, loop, assignment, layouts, costs,
+                                strategy, pps_name, stage)
+        stages.append(builder.build())
+    for cut in range(1, assignment.degree):
+        name = stage_pipe_name(pps_name, cut)
+        module.pipes.setdefault(name, PipeRef(name))
+    return stages

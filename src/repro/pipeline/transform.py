@@ -1,0 +1,151 @@
+"""The end-to-end pipelining transformation driver (paper §3.1).
+
+``pipeline_pps`` runs the full framework on one PPS:
+
+1. normalize: split long straight-line blocks so cuts can fall anywhere
+   (the paper cuts at arbitrary control-flow points);
+2. model: SSA-convert a working copy, build the loop dependence model
+   (CFG SCCs, dependence graph, dependence SCCs);
+3. cut: select D−1 successive balanced minimum cuts on the flow network;
+4. layout: compute the per-cut live sets and message layouts;
+5. realize: emit one IR function per stage, chained by stage pipes.
+
+The original module is never mutated except for registering the stage
+pipes; the result carries everything the evaluation harness needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import PpsLoop, find_pps_loop, split_large_blocks
+from repro.analysis.dependence_graph import LoopDependenceModel
+from repro.lang.intrinsics import Effect, get_intrinsic
+from repro.ir.clone import clone_function
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Call
+from repro.ir.verify import verify_function
+from repro.machine.costs import NN_RING, CostModel
+from repro.pipeline.cuts import StageAssignment, select_stages
+from repro.pipeline.liveset import CutLayout, Strategy, compute_cut_layouts
+from repro.pipeline.realize import StageProgram, realize_stages
+from repro.ssa.construct import construct_ssa
+
+#: Prologue intrinsics that are safe to replicate into every stage.
+_REPLICABLE_EFFECTS = frozenset({Effect.PURE, Effect.MEM_READ})
+
+
+class PipelineError(Exception):
+    """The PPS cannot be pipelined as requested."""
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipelining transformation."""
+
+    pps_name: str
+    degree: int
+    stages: list[StageProgram]
+    assignment: StageAssignment
+    model: LoopDependenceModel
+    layouts: list[CutLayout]
+    strategy: Strategy
+    costs: CostModel
+    normalized: Function  # the block-split single-PPS working copy
+    loop: PpsLoop = field(repr=False, default=None)
+
+    def stage_functions(self) -> list[Function]:
+        return [stage.function for stage in self.stages]
+
+
+def pipeline_pps(module: Module, pps_name: str, degree: int, *,
+                 costs: CostModel = NN_RING,
+                 epsilon: float = 1.0 / 16.0,
+                 strategy: Strategy = Strategy.PACKED,
+                 incremental: bool = True,
+                 interference: str = "exact",
+                 max_block_instructions: int = 12,
+                 profiler=None,
+                 cut_strategy=None) -> PipelineResult:
+    """Partition PPS ``pps_name`` into a ``degree``-stage pipeline.
+
+    ``profiler`` (optional) is called with the normalized (block-split)
+    single-PPS function and must return one block-frequency map per traffic
+    class; the balanced cuts then equalize every class's dynamic weight
+    across stages (profile-dimensioned weight function).
+
+    ``cut_strategy`` (optional) replaces the balanced-min-cut stage
+    selection with a custom ``(model, degree) -> StageAssignment`` — used
+    by the baseline-partitioner ablations.
+    """
+    if pps_name not in module.ppses:
+        raise PipelineError(f"unknown pps {pps_name!r}")
+    if degree < 1:
+        raise PipelineError("pipelining degree must be >= 1")
+    source = module.pps(pps_name)
+    _check_inlined(source)
+
+    work = clone_function(source)
+    if max_block_instructions > 0:
+        split_large_blocks(work, max_block_instructions)
+    loop = find_pps_loop(work)
+    _check_prologue(work, loop)
+
+    ssa = clone_function(work)
+    construct_ssa(ssa)
+    ssa_loop = find_pps_loop(ssa)
+    model = LoopDependenceModel(ssa, ssa_loop)
+
+    profiles = profiler(work) if profiler is not None else None
+    if cut_strategy is not None:
+        assignment = cut_strategy(model, degree)
+    else:
+        assignment = select_stages(model, degree, costs=costs,
+                                   epsilon=epsilon, incremental=incremental,
+                                   profiles=profiles)
+    layouts = compute_cut_layouts(work, loop.body, assignment.block_stage,
+                                  degree, interference=interference)
+    stages = realize_stages(work, loop, assignment, layouts, module, costs,
+                            strategy, pps_name)
+    for stage in stages:
+        verify_function(stage.function)
+    return PipelineResult(
+        pps_name=pps_name,
+        degree=degree,
+        stages=stages,
+        assignment=assignment,
+        model=model,
+        layouts=layouts,
+        strategy=strategy,
+        costs=costs,
+        normalized=work,
+        loop=loop,
+    )
+
+
+def _check_inlined(function: Function) -> None:
+    for inst in function.all_instructions():
+        if isinstance(inst, Call) and not inst.is_intrinsic:
+            raise PipelineError(
+                f"{function.name}: call to {inst.callee!r} must be inlined "
+                f"before pipelining (run inline_module)"
+            )
+
+
+def _check_prologue(function: Function, loop: PpsLoop) -> None:
+    """The prologue is replicated per stage, so it must be replicable:
+    no channel, device, packet, trace, or shared-memory-write effects."""
+    body = set(loop.body)
+    for name in function.block_order:
+        if name in body:
+            continue
+        for inst in function.block(name).all_instructions():
+            if isinstance(inst, Call) and inst.is_intrinsic:
+                effect = get_intrinsic(inst.callee).effect
+                if effect not in _REPLICABLE_EFFECTS:
+                    raise PipelineError(
+                        f"{function.name}: prologue intrinsic "
+                        f"{inst.callee!r} has effect {effect.value}; the "
+                        f"prologue is replicated per stage and must be free "
+                        f"of such side effects"
+                    )

@@ -1,0 +1,50 @@
+"""Runtime: interpreter, machine state, scheduler, equivalence checking."""
+
+from repro.runtime.devices import (
+    DeviceModel,
+    MPACKET_SIZE,
+    TxRecord,
+    make_status,
+    status_eop,
+    status_length,
+    status_port,
+    status_sop,
+)
+from repro.runtime.equivalence import (
+    Mismatch,
+    Observation,
+    assert_equivalent,
+    compare,
+    observe,
+)
+from repro.runtime.interp import Interpreter, InterpStats
+from repro.runtime.packets import PacketError, PacketStore
+from repro.runtime.scheduler import RunResult, run_group, run_pipeline, run_sequential
+from repro.runtime.state import MachineState, Pipe, RuntimeError_
+
+__all__ = [
+    "DeviceModel",
+    "Interpreter",
+    "InterpStats",
+    "MPACKET_SIZE",
+    "MachineState",
+    "Mismatch",
+    "Observation",
+    "PacketError",
+    "PacketStore",
+    "Pipe",
+    "RunResult",
+    "RuntimeError_",
+    "TxRecord",
+    "assert_equivalent",
+    "compare",
+    "make_status",
+    "observe",
+    "run_group",
+    "run_pipeline",
+    "run_sequential",
+    "status_eop",
+    "status_length",
+    "status_port",
+    "status_sop",
+]

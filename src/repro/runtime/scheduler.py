@@ -1,0 +1,118 @@
+"""Cooperative execution of one or more PPS interpreters.
+
+``run_group`` round-robins a set of interpreters until quiescence: every
+interpreter is finished, or a full round makes no progress (everyone is
+blocked on empty pipes / idle devices).  This executes a whole pipelined
+PPS — or several communicating PPSes — faithfully, including bounded stage
+pipes (a full ring blocks the sender).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.runtime.interp import Interpreter, InterpStats
+from repro.runtime.state import MachineState, RuntimeError_
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of a scheduler run."""
+
+    stats: dict[str, InterpStats] = field(default_factory=dict)
+    rounds: int = 0
+
+    def total_weight(self) -> int:
+        return sum(stats.weight for stats in self.stats.values())
+
+
+def run_group(interpreters: dict[str, Interpreter], *,
+              max_rounds: int = 10_000_000) -> RunResult:
+    """Run interpreters round-robin until everyone finishes or blocks."""
+    generators = {name: interp.run() for name, interp in interpreters.items()}
+    live = dict(generators)
+    result = RunResult()
+    while live:
+        result.rounds += 1
+        if result.rounds > max_rounds:
+            raise RuntimeError_("scheduler exceeded max_rounds (livelock?)")
+        progressed = False
+        before = {name: interpreters[name].stats.instructions for name in live}
+        for name in list(live):
+            generator = live[name]
+            try:
+                next(generator)
+            except StopIteration:
+                del live[name]
+            if interpreters[name].stats.instructions > before[name]:
+                progressed = True
+        if not progressed and live:
+            break  # global quiescence: everyone blocked
+    for name, interp in interpreters.items():
+        result.stats[name] = interp.stats
+    return result
+
+
+def run_sequential(function: Function, state: MachineState, *,
+                   iterations: int) -> InterpStats:
+    """Run one sequential PPS for ``iterations`` loop iterations."""
+    from repro.analysis.cfg import find_pps_loop
+
+    loop = find_pps_loop(function)
+    interp = Interpreter(function, state, loop_start=loop.header,
+                         max_iterations=iterations)
+    run_group({function.name: interp})
+    return interp.stats
+
+
+def run_pipeline(stages: list, state: MachineState, *,
+                 iterations: int) -> RunResult:
+    """Run realized pipeline stages together.
+
+    Stage 1 is bounded to ``iterations`` loop iterations; downstream
+    stages run until their input pipes drain.
+    """
+    interpreters: dict[str, Interpreter] = {}
+    for stage in stages:
+        function = stage.function
+        loop_start = _stage_loop_start(stage)
+        bound = iterations if stage.index == 1 else None
+        interpreters[function.name] = Interpreter(
+            function, state, loop_start=loop_start, max_iterations=bound
+        )
+    result = run_group(interpreters)
+    return result
+
+
+def run_replicas(replicas: list, state: MachineState, *,
+                 iterations: int) -> RunResult:
+    """Run replicated PPS instances (see repro.pipeline.replicate).
+
+    ``iterations`` is the total number of global iterations; replica r of
+    N executes ceil((iterations - r + 1) / N) of them.
+    """
+    from repro.analysis.cfg import find_pps_loop
+
+    interpreters: dict[str, Interpreter] = {}
+    ways = len(replicas)
+    for replica in replicas:
+        function = replica.function
+        loop = find_pps_loop(function)
+        own = (iterations - (replica.index - 1) + ways - 1) // ways
+        interpreters[function.name] = Interpreter(
+            function, state, loop_start=loop.header,
+            max_iterations=max(0, own),
+            seq_offset=replica.index - 1, seq_stride=ways,
+        )
+    return run_group(interpreters)
+
+
+def _stage_loop_start(stage) -> str:
+    if stage.in_pipe is None:
+        # Stage 1 starts iterations at the original PPS header.
+        for name in stage.function.block_order:
+            if name.startswith("pps_header"):
+                return name
+        raise RuntimeError_(f"{stage.function.name}: no loop header found")
+    return "stage_recv"

@@ -1,0 +1,105 @@
+"""The shared machine state one or more interpreters execute against."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.ir.function import Module
+from repro.runtime.devices import DeviceModel
+from repro.runtime.packets import PacketStore
+
+
+class RuntimeError_(Exception):
+    """A trap raised by the interpreter (bad memory access, etc.)."""
+
+
+@dataclass
+class Pipe:
+    """A bounded FIFO of messages (words or word tuples)."""
+
+    name: str
+    capacity: int = 0  # 0 = unbounded
+    queue: deque = field(default_factory=deque)
+
+    def can_send(self) -> bool:
+        return self.capacity <= 0 or len(self.queue) < self.capacity
+
+    def send(self, message) -> None:
+        self.queue.append(message)
+
+    def can_recv(self) -> bool:
+        return bool(self.queue)
+
+    def recv(self):
+        return self.queue.popleft()
+
+
+class MachineState:
+    """Shared memories, pipes, packet store, devices, and trace buffers."""
+
+    def __init__(self, module: Module, *, pipe_capacity: int = 0):
+        self.module = module
+        self.pipe_capacity = pipe_capacity
+        self.regions: dict[str, list[int]] = {
+            name: [0] * region.size for name, region in module.regions.items()
+        }
+        self._region_readonly = {name: region.readonly
+                                 for name, region in module.regions.items()}
+        self.pipes: dict[str, Pipe] = {}
+        for name in module.pipes:
+            self.pipes[name] = Pipe(name, capacity=pipe_capacity)
+        self.packets = PacketStore()
+        self.devices = DeviceModel()
+        self.traces: dict[int, list[int]] = {}
+        # Per-resource global iteration sequencers (PPS replication).
+        self.sequencers: dict = {}
+
+    def pipe(self, name: str) -> Pipe:
+        pipe = self.pipes.get(name)
+        if pipe is None:
+            pipe = Pipe(name, capacity=self.pipe_capacity)
+            self.pipes[name] = pipe
+        return pipe
+
+    def region(self, name: str) -> list[int]:
+        region = self.regions.get(name)
+        if region is None:
+            raise RuntimeError_(f"unknown memory region {name!r}")
+        return region
+
+    def region_write(self, name: str, addr: int, value: int) -> None:
+        if self._region_readonly.get(name):
+            raise RuntimeError_(f"write to readonly region {name!r}")
+        region = self.region(name)
+        if not 0 <= addr < len(region):
+            raise RuntimeError_(f"{name}[{addr}] out of bounds "
+                                f"({len(region)} words)")
+        region[addr] = value
+
+    def region_read(self, name: str, addr: int) -> int:
+        region = self.region(name)
+        if not 0 <= addr < len(region):
+            raise RuntimeError_(f"{name}[{addr}] out of bounds "
+                                f"({len(region)} words)")
+        return region[addr]
+
+    def trace(self, tag: int, value: int) -> None:
+        self.traces.setdefault(tag, []).append(value)
+
+    # -- host-side helpers -----------------------------------------------------
+
+    def load_region(self, name: str, values: dict[int, int] | list[int]) -> None:
+        """Populate a region before a run (route tables etc.); readonly
+        regions may only be written through this host-side call."""
+        region = self.region(name)
+        if isinstance(values, dict):
+            for addr, value in values.items():
+                region[addr] = value
+        else:
+            region[: len(values)] = values
+
+    def feed_pipe(self, name: str, messages) -> None:
+        pipe = self.pipe(name)
+        for message in messages:
+            pipe.send(message)

@@ -1,0 +1,6 @@
+"""SSA construction and destruction for the PPS-C IR."""
+
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+
+__all__ = ["construct_ssa", "destruct_ssa"]

@@ -1,0 +1,63 @@
+"""SSA destruction: replace φ-functions with edge copies.
+
+The realized pipeline stages are plain (non-SSA) code, so after any pass
+that needs SSA has run, φs are lowered back to copies.  The implementation
+is the classic safe scheme:
+
+1. split every critical edge (a predecessor with multiple successors
+   feeding a block with multiple predecessors),
+2. for each φ ``d = φ(p1: v1, ..., pk: vk)``, append ``tmp_d = vi`` at the
+   end of each predecessor ``pi`` and replace the φ with ``d = tmp_d`` at
+   the block head.
+
+Fresh per-φ temporaries make the parallel-copy semantics explicit, which
+sidesteps the lost-copy and swap problems without a coalescing phase.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, split_edge
+from repro.ir.instructions import Assign, Phi
+from repro.ir.values import VReg
+
+
+def split_critical_edges(function: Function) -> int:
+    """Split all critical edges; returns how many were split."""
+    count = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = function.predecessors()
+        for name in list(function.block_order):
+            block = function.block(name)
+            successors = block.successors()
+            if len(set(successors)) < 2:
+                continue
+            for succ in set(successors):
+                if len(preds[succ]) > 1:
+                    split_edge(function, name, succ)
+                    count += 1
+                    changed = True
+            if changed:
+                break
+    return count
+
+
+def destruct_ssa(function: Function) -> None:
+    """Lower all φ-functions to copies, in place."""
+    if not any(block.phis() for block in function.ordered_blocks()):
+        return
+    split_critical_edges(function)
+    for name in list(function.block_order):
+        block = function.block(name)
+        phis = block.phis()
+        if not phis:
+            continue
+        head: list[Assign] = []
+        for phi in phis:
+            temp = function.new_reg(f"phi.{phi.dest.name}", base=phi.dest.root())
+            for pred, value in phi.incomings.items():
+                pred_block = function.block(pred)
+                pred_block.append(Assign(temp, value, location=phi.location))
+            head.append(Assign(phi.dest, temp, location=phi.location))
+        block.instructions = head + block.non_phi_instructions()

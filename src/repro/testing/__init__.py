@@ -1,0 +1,5 @@
+"""Differential-testing utilities: random PPS-C program generation."""
+
+from repro.testing.progen import GeneratorConfig, ProgramGenerator, random_pps_source
+
+__all__ = ["GeneratorConfig", "ProgramGenerator", "random_pps_source"]

@@ -1,0 +1,71 @@
+"""Tests for control dependence computation."""
+
+from repro.analysis.control_dependence import control_dependences, controlled_by
+from repro.analysis.graph import Digraph
+
+
+def build(edges, entry):
+    graph = Digraph()
+    graph.add_node(entry)
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    graph.entry = entry
+    return graph
+
+
+def test_diamond_arms_depend_on_branch():
+    graph = build([("e", "a"), ("e", "b"), ("a", "j"), ("b", "j"),
+                   ("j", "x")], "e")
+    deps = control_dependences(graph)
+    assert deps["a"] == {"e"}
+    assert deps["b"] == {"e"}
+    assert deps["j"] == set()  # join always executes
+    assert deps["x"] == set()
+
+
+def test_nested_conditionals():
+    # e -> a|j ; a -> b|c -> j2 -> j
+    graph = build([
+        ("e", "a"), ("e", "j"),
+        ("a", "b"), ("a", "c"),
+        ("b", "j2"), ("c", "j2"), ("j2", "j"),
+    ], "e")
+    deps = control_dependences(graph)
+    assert deps["a"] == {"e"}
+    assert deps["b"] == {"a"}
+    assert deps["c"] == {"a"}
+    assert deps["j2"] == {"e"}  # executes iff the else of e was not taken
+    assert deps["j"] == set()
+
+
+def test_one_armed_if():
+    graph = build([("e", "t"), ("e", "j"), ("t", "j"), ("j", "x")], "e")
+    deps = control_dependences(graph)
+    assert deps["t"] == {"e"}
+    assert deps["x"] == set()
+
+
+def test_loop_body_depends_on_header():
+    # e -> h; h -> b|x; b -> h  (while loop)
+    graph = build([("e", "h"), ("h", "b"), ("h", "x"), ("b", "h")], "e")
+    deps = control_dependences(graph)
+    assert deps["b"] == {"h"}
+    # The header is control dependent on itself (loop iteration decision).
+    assert "h" in deps["h"]
+    assert deps["x"] == set()
+
+
+def test_controlled_by_is_inverse():
+    graph = build([("e", "a"), ("e", "b"), ("a", "j"), ("b", "j")], "e")
+    inverse = controlled_by(graph)
+    assert inverse["e"] == {"a", "b"}
+    assert inverse["a"] == set()
+
+
+def test_multiway_switch():
+    graph = build([("s", "c0"), ("s", "c1"), ("s", "c2"),
+                   ("c0", "j"), ("c1", "j"), ("c2", "j")], "s")
+    deps = control_dependences(graph)
+    for case in ("c0", "c1", "c2"):
+        assert deps[case] == {"s"}
+    assert deps["j"] == set()

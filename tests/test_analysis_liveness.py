@@ -1,0 +1,110 @@
+"""Tests for live-variable analysis."""
+
+from repro.analysis.cfg import find_pps_loop
+from repro.analysis.liveness import Liveness
+from repro.ir.clone import clone_function
+from repro.ssa import construct_ssa
+
+from helpers import compile_module
+
+
+def regs_named(regs, prefix):
+    return {reg for reg in regs if reg.name.startswith(prefix)}
+
+
+def test_straightline_liveness():
+    module = compile_module("""
+        pipe q;
+        pps p { for (;;) { int a = pipe_recv(q); int b = a + 1; trace(1, b); } }
+    """)
+    pps = module.pps("p")
+    liveness = Liveness(pps)
+    loop = find_pps_loop(pps)
+    # Nothing is live around the back edge (all per-iteration temporaries).
+    carried = liveness.live_at_edge(loop.latch, loop.header)
+    assert not regs_named(carried, "a") and not regs_named(carried, "b")
+
+
+def test_loop_carried_variable_live_on_back_edge():
+    module = compile_module("pps p { int n = 0; for (;;) { n = n + 1; trace(1, n); } }")
+    pps = module.pps("p")
+    loop = find_pps_loop(pps)
+    carried = Liveness(pps).live_at_edge(loop.latch, loop.header)
+    assert regs_named(carried, "n")
+
+
+def test_branch_liveness_differs_per_arm():
+    module = compile_module("""
+        pipe q;
+        pps p { for (;;) {
+            int a = pipe_recv(q);
+            int b = a * 2;
+            int c = a * 3;
+            if (a > 0) { trace(1, b); } else { trace(2, c); }
+        } }
+    """)
+    pps = module.pps("p")
+    liveness = Liveness(pps)
+    then_block = next(n for n in pps.block_order if n.startswith("if_then"))
+    else_block = next(n for n in pps.block_order if n.startswith("if_else"))
+    assert regs_named(liveness.live_in[then_block], "b")
+    assert not regs_named(liveness.live_in[then_block], "c")
+    assert regs_named(liveness.live_in[else_block], "c")
+    assert not regs_named(liveness.live_in[else_block], "b")
+
+
+def test_phi_operands_live_on_their_edges_only():
+    module = compile_module("""
+        pps p { for (;;) { int x = 1;
+            if (x) { x = 2; } else { x = 3; }
+            trace(1, x); } }
+    """)
+    ssa = clone_function(module.pps("p"))
+    construct_ssa(ssa)
+    liveness = Liveness(ssa)
+    join = next(n for n in ssa.block_order if n.startswith("if_join"))
+    phi = ssa.block(join).phis()[0]
+    for pred, value in phi.incomings.items():
+        live = liveness.live_at_edge(pred, join)
+        assert value in live
+        others = [v for p, v in phi.incomings.items() if p != pred]
+        for other in others:
+            assert other not in live
+    # The phi dest itself is not live on incoming edges.
+    for pred in phi.incomings:
+        assert phi.dest not in liveness.live_at_edge(pred, join)
+
+
+def test_live_after_tracks_instruction_granularity():
+    module = compile_module("""
+        pipe q;
+        pps p { for (;;) { int a = pipe_recv(q); int b = a + 1;
+                           trace(1, a); trace(2, b); } }
+    """)
+    pps = module.pps("p")
+    liveness = Liveness(pps)
+    # Find the block with the traces.
+    block_name = next(
+        name for name in pps.block_order
+        if any(getattr(inst, "callee", None) == "trace"
+               for inst in pps.block(name).instructions)
+    )
+    block = pps.block(block_name)
+    instructions = block.all_instructions()
+    trace1_index = next(i for i, inst in enumerate(instructions)
+                        if getattr(inst, "callee", None) == "trace"
+                        and inst.args[0].value == 1)
+    live = liveness.live_after(block_name, trace1_index)
+    assert regs_named(live, "b")
+    assert not regs_named(live, "a")  # a is dead after its last use
+
+
+def test_dead_code_not_live():
+    module = compile_module("""
+        pps p { for (;;) { int unused = 42; trace(1, 0); } }
+    """)
+    pps = module.pps("p")
+    loop = find_pps_loop(pps)
+    liveness = Liveness(pps)
+    for name in loop.body:
+        assert not regs_named(liveness.live_in[name], "unused")

@@ -1,0 +1,134 @@
+"""Tests for natural-loop analysis and the DOT exporters."""
+
+from repro.analysis.cfg import find_pps_loop
+from repro.analysis.dependence_graph import LoopDependenceModel
+from repro.analysis.graph import Digraph
+from repro.analysis.loops import find_natural_loops
+from repro.analysis.viz import (
+    cfg_to_dot,
+    dependence_model_to_dot,
+    stage_map_to_dot,
+)
+from repro.ir.clone import clone_function
+from repro.pipeline.transform import pipeline_pps
+from repro.ssa import construct_ssa
+
+from helpers import STANDARD_PPS, compile_module
+
+
+def build(edges, entry):
+    graph = Digraph()
+    graph.add_node(entry)
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    graph.entry = entry
+    return graph
+
+
+# -- natural loops -----------------------------------------------------------
+
+
+def test_simple_while_loop():
+    graph = build([("e", "h"), ("h", "b"), ("b", "h"), ("h", "x")], "e")
+    forest = find_natural_loops(graph)
+    assert len(forest.loops) == 1
+    loop = forest.loops[0]
+    assert loop.header == "h"
+    assert loop.body == {"h", "b"}
+    assert loop.back_edges == [("b", "h")]
+    assert forest.depth_of("b") == 1
+    assert forest.depth_of("x") == 0
+
+
+def test_nested_loops_forest():
+    graph = build([
+        ("e", "h1"), ("h1", "h2"), ("h2", "b"), ("b", "h2"),
+        ("h2", "t1"), ("t1", "h1"), ("h1", "x"),
+    ], "e")
+    forest = find_natural_loops(graph)
+    assert len(forest.loops) == 2
+    inner = forest.loop_of("b")
+    outer = forest.loop_of("t1")
+    assert inner.header == "h2"
+    assert outer.header == "h1"
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert forest.depth_of("b") == 2
+    assert forest.roots == [outer]
+
+
+def test_self_loop():
+    graph = build([("e", "s"), ("s", "s"), ("s", "x")], "e")
+    forest = find_natural_loops(graph)
+    assert len(forest.loops) == 1
+    assert forest.loops[0].body == {"s"}
+
+
+def test_two_back_edges_one_header():
+    graph = build([
+        ("e", "h"), ("h", "a"), ("a", "h"), ("h", "b"), ("b", "h"),
+        ("h", "x"),
+    ], "e")
+    forest = find_natural_loops(graph)
+    assert len(forest.loops) == 1
+    assert len(forest.loops[0].back_edges) == 2
+    assert forest.loops[0].body == {"h", "a", "b"}
+
+
+def test_irreducible_cycle_detected():
+    # Two entries into a cycle: neither node dominates the other.
+    graph = build([("e", "a"), ("e", "b"), ("a", "b"), ("b", "a")], "e")
+    forest = find_natural_loops(graph)
+    assert not forest.loops
+    assert len(forest.irreducible_components) == 1
+    assert set(forest.irreducible_components[0]) == {"a", "b"}
+
+
+def test_loops_of_real_pps():
+    module = compile_module(STANDARD_PPS)
+    pps = module.pps("worker")
+    loop = find_pps_loop(pps)
+    from repro.analysis.cfg import cfg_of
+
+    forest = find_natural_loops(cfg_of(pps))
+    headers = {l.header for l in forest.loops}
+    assert loop.header in headers  # the PPS loop itself
+    assert len(forest.loops) >= 2  # plus the inner while loop
+    assert not forest.irreducible_components
+
+
+# -- DOT export ------------------------------------------------------------------
+
+
+def test_cfg_dot_contains_blocks_and_edges():
+    module = compile_module(STANDARD_PPS)
+    pps = module.pps("worker")
+    dot = cfg_to_dot(pps)
+    assert dot.startswith("digraph")
+    for name in pps.block_order:
+        assert name in dot
+    assert "->" in dot
+    detailed = cfg_to_dot(pps, include_instructions=True)
+    assert "pipe_recv" in detailed
+
+
+def test_dependence_model_dot():
+    module = compile_module(STANDARD_PPS)
+    ssa = clone_function(module.pps("worker"))
+    construct_ssa(ssa)
+    model = LoopDependenceModel(ssa, find_pps_loop(ssa))
+    dot = dependence_model_to_dot(model)
+    assert "digraph dependence_units" in dot
+    assert "u0" in dot
+    assert "color=" in dot
+
+
+def test_stage_map_dot_clusters_by_stage():
+    module = compile_module(STANDARD_PPS)
+    result = pipeline_pps(module, "worker", 3)
+    dot = stage_map_to_dot(result)
+    for stage in (1, 2, 3):
+        assert f"cluster_stage{stage}" in dot
+    # Every body block appears exactly once as a node definition.
+    for name in result.loop.body:
+        assert dot.count(f'"{name}" [label=') == 1

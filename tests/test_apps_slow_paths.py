@@ -1,0 +1,171 @@
+"""Slow-path coverage for the benchmark applications.
+
+The evaluation uses min-size packets (the worst-case fast path); these
+tests exercise the paths min-size traffic never reaches — multi-mpacket
+reassembly in RX, two-segment transmission in TX, IPv4 options — and
+check they also survive pipelining.
+"""
+
+from repro.apps.common import (
+    META_LEN,
+    META_OUT_PORT,
+    META_SEQ,
+    TAG_RX_OK,
+    TAG_TX,
+)
+from repro.apps.suite import build_app
+from repro.apps.traffic import ipv4_checksum, make_ipv4_packet
+from repro.pipeline.transform import pipeline_pps
+from repro.runtime import (
+    MachineState,
+    assert_equivalent,
+    observe,
+    run_pipeline,
+    run_sequential,
+)
+
+
+def test_rx_reassembles_two_mpacket_frames():
+    app = build_app("rx", packets=4)
+    state = MachineState(app.module)
+    big = make_ipv4_packet(0xC0A80001, 0x0A010203, total_bytes=100)
+    small = make_ipv4_packet(0xC0A80002, 0x0A010204)
+    state.devices.feed_packet(0, big)
+    state.devices.feed_packet(0, small)
+    run_sequential(app.module.pps("rx"), state, iterations=2)
+    handles = list(state.pipe("rx_out").queue)
+    assert len(handles) == 2
+    assert state.packets.meta_get(handles[0], META_LEN) == 100
+    assert state.packets.meta_get(handles[1], META_LEN) == 48
+    # The reassembled payload matches the original frame byte for byte.
+    first = state.packets.get(handles[0])
+    assert bytes(first.data[:100]) == big
+
+
+def test_rx_drains_oversized_frames():
+    app = build_app("rx", packets=2)
+    state = MachineState(app.module)
+    oversized = bytes(300)  # five mpackets: beyond the two-mpacket fast path
+    state.devices.feed_packet(0, oversized)
+    state.devices.feed_packet(0, make_ipv4_packet(1, 0x0A010203))
+    run_sequential(app.module.pps("rx"), state, iterations=2)
+    # The oversized frame is dropped, the following good one still flows.
+    assert len(state.pipe("rx_out").queue) == 1
+    assert len(state.traces.get(TAG_RX_OK, [])) == 1
+
+
+def test_rx_multi_mpacket_pipelined_equivalence():
+    app = build_app("rx", packets=4)
+
+    def setup(state):
+        for index in range(6):
+            size = 48 if index % 2 == 0 else 100
+            state.devices.feed_packet(0, make_ipv4_packet(
+                0xC0A80000 + index, 0x0A010203, total_bytes=size))
+
+    baseline_state = MachineState(app.module)
+    setup(baseline_state)
+    run_sequential(app.module.pps("rx"), baseline_state, iterations=6)
+    baseline = observe(baseline_state)
+    result = pipeline_pps(app.module, "rx", 4)
+    state = MachineState(app.module)
+    setup(state)
+    run_pipeline(result.stages, state, iterations=6)
+    assert_equivalent(baseline, observe(state))
+
+
+def test_tx_two_segment_transmission():
+    app = build_app("tx", packets=2)
+    state = MachineState(app.module)
+    payload = make_ipv4_packet(7, 0x0A010203, total_bytes=100)
+    handle = state.packets.adopt(payload, meta={META_LEN: 100,
+                                                META_OUT_PORT: 2,
+                                                META_SEQ: 1})
+    state.pipe("tx_in").send(handle)
+    run_sequential(app.module.pps("tx"), state, iterations=1)
+    records = state.devices.tx_records
+    assert len(records) == 2
+    assert records[0].sop and not records[0].eop
+    assert not records[1].sop and records[1].eop
+    assert records[0].data + records[1].data == payload
+    assert all(record.port == 2 for record in records)
+
+
+def test_tx_oversized_packet_dropped():
+    app = build_app("tx", packets=1)
+    state = MachineState(app.module)
+    handle = state.packets.adopt(bytes(200), meta={META_LEN: 200,
+                                                   META_OUT_PORT: 0,
+                                                   META_SEQ: 1})
+    state.pipe("tx_in").send(handle)
+    run_sequential(app.module.pps("tx"), state, iterations=1)
+    assert not state.devices.tx_records
+    assert not state.traces.get(TAG_TX)
+
+
+def test_tx_mixed_sizes_pipelined_equivalence():
+    app = build_app("tx", packets=4)
+
+    def setup(state):
+        for index, size in enumerate((48, 100, 64, 128)):
+            data = make_ipv4_packet(index, 0x0A010203, total_bytes=size)
+            handle = state.packets.adopt(data, meta={META_LEN: size,
+                                                     META_OUT_PORT: index % 4,
+                                                     META_SEQ: index + 1})
+            state.pipe("tx_in").send(handle)
+
+    baseline_state = MachineState(app.module)
+    setup(baseline_state)
+    run_sequential(app.module.pps("tx"), baseline_state, iterations=4)
+    baseline = observe(baseline_state)
+    result = pipeline_pps(app.module, "tx", 3)
+    state = MachineState(app.module)
+    setup(state)
+    run_pipeline(result.stages, state, iterations=4)
+    assert_equivalent(baseline, observe(state))
+
+
+def _with_options(dst: int) -> bytes:
+    """An IPv4 packet with a 4-byte NOP options block (IHL = 6)."""
+    base = bytearray(make_ipv4_packet(0xC0A80001, dst, total_bytes=64))
+    header = bytearray(base[4:24]) + bytearray([1, 1, 1, 1])  # NOP options
+    header[0] = 0x46                       # version 4, IHL 6
+    header[10:12] = b"\x00\x00"
+    checksum = ipv4_checksum(bytes(header))
+    header[10:12] = checksum.to_bytes(2, "big")
+    packet = base[:4] + header + base[24:]
+    return bytes(packet[:64])
+
+
+def test_ipv4_options_checksum_loop():
+    app = build_app("ipv4", packets=2)
+    state, _ = app.fresh_state()
+    state.pipe("ipv4_in").queue.clear()
+    handle = state.packets.adopt(_with_options(0x0A010203),
+                                 meta={META_LEN: 64})
+    state.pipe("ipv4_in").send(handle)
+    run_sequential(app.module.pps("ipv4"), state, iterations=1)
+    forwarded = list(state.pipe("ipv4_out").queue)
+    assert forwarded == [handle], "an options-bearing packet must forward"
+
+
+def test_ipv4_options_pipelined_equivalence():
+    app = build_app("ipv4", packets=2)
+
+    def setup(state):
+        app.setup(state)
+        state.pipe("ipv4_in").queue.clear()
+        for dst in (0x0A010203, 0xC0A80505):
+            handle = state.packets.adopt(_with_options(dst),
+                                         meta={META_LEN: 64})
+            state.pipe("ipv4_in").send(handle)
+
+    baseline_state = MachineState(app.module)
+    setup(baseline_state)
+    run_sequential(app.module.pps("ipv4"), baseline_state, iterations=2)
+    baseline = observe(baseline_state)
+    result = pipeline_pps(app.module, "ipv4", 5)
+    state = MachineState(app.module)
+    setup(state)
+    run_pipeline(result.stages, state, iterations=2)
+    assert_equivalent(baseline, observe(state))

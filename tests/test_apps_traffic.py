@@ -1,0 +1,116 @@
+"""Tests for traffic generation."""
+
+from repro.apps.common import (
+    MIN_PACKET_BYTES,
+    POS_HEADER_BYTES,
+    PPP_IPV4,
+    PPP_IPV6,
+)
+from repro.apps.traffic import (
+    TrafficConfig,
+    TrafficGenerator,
+    ipv4_checksum,
+    make_ipv4_packet,
+    make_ipv6_packet,
+)
+
+
+def test_min_size_packet_geometry():
+    packet = make_ipv4_packet(0x01020304, 0x0A000001)
+    assert len(packet) == MIN_PACKET_BYTES
+    assert packet[0] == 0xFF and packet[1] == 0x03
+    assert int.from_bytes(packet[2:4], "big") == PPP_IPV4
+
+
+def test_ipv4_header_fields():
+    packet = make_ipv4_packet(0x0B0C0D0E, 0x0A010203, ttl=17, tos=0x40,
+                              ident=77)
+    header = packet[POS_HEADER_BYTES:POS_HEADER_BYTES + 20]
+    assert header[0] == 0x45
+    assert header[1] == 0x40
+    assert header[8] == 17
+    assert int.from_bytes(header[4:6], "big") == 77
+    assert int.from_bytes(header[12:16], "big") == 0x0B0C0D0E
+    assert int.from_bytes(header[16:20], "big") == 0x0A010203
+
+
+def test_checksum_verifies_to_ffff():
+    packet = make_ipv4_packet(1, 2)
+    header = packet[POS_HEADER_BYTES:POS_HEADER_BYTES + 20]
+    total = 0
+    for i in range(0, 20, 2):
+        total += int.from_bytes(header[i:i + 2], "big")
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    assert total == 0xFFFF
+
+
+def test_corrupt_checksum_flag():
+    good = make_ipv4_packet(1, 2)
+    bad = make_ipv4_packet(1, 2, corrupt_checksum=True)
+    assert good[POS_HEADER_BYTES + 10: POS_HEADER_BYTES + 12] != \
+        bad[POS_HEADER_BYTES + 10: POS_HEADER_BYTES + 12]
+
+
+def test_ipv6_packet_fields():
+    packet = make_ipv6_packet(0x2001_0db8_0000_0001, 0x2001_0db8_0001_0002,
+                              hop_limit=9)
+    assert int.from_bytes(packet[2:4], "big") == PPP_IPV6
+    header = packet[POS_HEADER_BYTES:]
+    assert (header[0] >> 4) == 6
+    assert header[7] == 9
+    assert int.from_bytes(header[24:32], "big") == 0x2001_0db8_0001_0002
+
+
+def test_generator_is_seeded_and_deterministic():
+    config = TrafficConfig(seed=5, count=20)
+    a = TrafficGenerator(config).ipv4_stream()
+    b = TrafficGenerator(TrafficConfig(seed=5, count=20)).ipv4_stream()
+    c = TrafficGenerator(TrafficConfig(seed=6, count=20)).ipv4_stream()
+    assert a == b
+    assert a != c
+
+
+def test_generator_draws_from_routable_prefixes():
+    prefixes = [(0x0A000000, 8)]
+    generator = TrafficGenerator(TrafficConfig(seed=1, count=30),
+                                 ipv4_prefixes=prefixes)
+    for packet in generator.ipv4_stream():
+        dst = int.from_bytes(packet[POS_HEADER_BYTES + 16:
+                                    POS_HEADER_BYTES + 20], "big")
+        assert (dst >> 24) == 0x0A
+
+
+def test_min_size_only_flag():
+    generator = TrafficGenerator(TrafficConfig(seed=2, count=30,
+                                               min_size_only=True))
+    assert all(len(p) == MIN_PACKET_BYTES for p in generator.ipv4_stream())
+    mixed = TrafficGenerator(TrafficConfig(seed=2, count=30,
+                                           min_size_only=False))
+    assert len({len(p) for p in mixed.ipv4_stream()}) > 1
+
+
+def test_bad_fraction_produces_corrupt_packets():
+    generator = TrafficGenerator(TrafficConfig(seed=3, count=60,
+                                               bad_fraction=0.5))
+    def checks_out(packet):
+        header = packet[POS_HEADER_BYTES:POS_HEADER_BYTES + 20]
+        total = 0
+        for i in range(0, 20, 2):
+            total += int.from_bytes(header[i:i + 2], "big")
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        return total == 0xFFFF
+    results = [checks_out(p) for p in generator.ipv4_stream()]
+    assert any(results) and not all(results)
+
+
+def test_mixed_stream_interleaves():
+    generator = TrafficGenerator(TrafficConfig(seed=4, count=10))
+    stream = generator.mixed_stream()
+    protocols = [int.from_bytes(p[2:4], "big") for p in stream]
+    assert PPP_IPV4 in protocols and PPP_IPV6 in protocols
+
+
+def test_checksum_helper_zero_header():
+    assert ipv4_checksum(bytes(20)) == 0xFFFF

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+pipe in_q;
+pipe out_q;
+
+pps demo {
+    for (;;) {
+        int v = pipe_recv(in_q);
+        int w = v * 3;
+        if (w > 10) { trace(1, w); }
+        pipe_send(out_q, w);
+    }
+}
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.ppc"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def test_check_ok(demo_file, capsys):
+    assert main(["check", demo_file]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "1 pps" in out
+
+
+def test_check_reports_frontend_errors(tmp_path, capsys):
+    bad = tmp_path / "bad.ppc"
+    bad.write_text("pps p { for (;;) { undeclared = 1; } }")
+    assert main(["check", str(bad)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file(capsys):
+    assert main(["check", "/nonexistent.ppc"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_ir_dump(demo_file, capsys):
+    assert main(["ir", demo_file, "--pps", "demo"]) == 0
+    out = capsys.readouterr().out
+    assert "pps_header" in out
+    assert "pipe_recv" in out
+
+
+def test_pipeline_summary(demo_file, capsys):
+    assert main(["pipeline", demo_file, "-d", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3 stages" in out
+    assert "cut 1:" in out and "cut 2:" in out
+
+
+def test_pipeline_emit_prints_stage_ir(demo_file, capsys):
+    assert main(["pipeline", demo_file, "-d", "2", "--emit"]) == 0
+    out = capsys.readouterr().out
+    assert "stage_recv" in out
+    assert "pipe_in" in out
+
+
+def test_pipeline_with_ring_and_strategy(demo_file, capsys):
+    assert main(["pipeline", demo_file, "-d", "2", "--ring", "scratch",
+                 "--strategy", "unified"]) == 0
+    out = capsys.readouterr().out
+    assert "scratch rings" in out
+
+
+def test_run_sequential(demo_file, capsys):
+    assert main(["run", demo_file, "--feed", "in_q=1,2,5",
+                 "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "pipe out_q: [3, 6, 15]" in out
+    assert "trace[1]: [15]" in out
+
+
+def test_run_pipelined_checks_equivalence(demo_file, capsys):
+    assert main(["run", demo_file, "-d", "2", "--feed", "in_q=1,2,5",
+                 "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "observationally equivalent" in out
+    assert "pipe out_q: [3, 6, 15]" in out
+
+
+def test_bad_feed_spec(demo_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["run", demo_file, "--feed", "garbage"])
+
+
+def test_unknown_pps_rejected(demo_file):
+    with pytest.raises(SystemExit):
+        main(["ir", demo_file, "--pps", "nope"])
+
+
+def test_multi_pps_requires_selection(tmp_path):
+    path = tmp_path / "two.ppc"
+    path.write_text("""
+        pipe q;
+        pps a { for (;;) { pipe_send(q, 1); } }
+        pps b { for (;;) { int v = pipe_recv(q); trace(1, v); } }
+    """)
+    with pytest.raises(SystemExit, match="--pps"):
+        main(["pipeline", str(path), "-d", "2"])

@@ -1,0 +1,67 @@
+"""Tests for the whole-application engine allocator."""
+
+import pytest
+
+from repro.eval.allocation import (
+    AllocationResult,
+    CostCurves,
+    PpsOption,
+    allocate_engines,
+)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return CostCurves(["ipv4", "qm"], packets=24, max_engines_per_pps=6)
+
+
+def test_cost_curve_cached_and_monotone_baseline(curves):
+    first = curves.cost("ipv4", "pipeline", 3)
+    second = curves.cost("ipv4", "pipeline", 3)
+    assert first == second  # cached
+    assert curves.cost("ipv4", "pipeline", 1) == curves.baseline("ipv4").per_packet
+
+
+def test_best_option_picks_cheaper_mode(curves):
+    option = curves.best_option("ipv4", 4)
+    assert option.engines == 4
+    assert option.mode in ("pipeline", "replicate")
+    other_mode = "replicate" if option.mode == "pipeline" else "pipeline"
+    assert option.cost <= curves.cost("ipv4", other_mode, 4)
+
+
+def test_sequential_option_label(curves):
+    option = curves.best_option("qm", 1)
+    assert option.label == "sequential"
+    assert option.engines == 1
+
+
+def test_allocation_requires_enough_engines(curves):
+    with pytest.raises(ValueError):
+        allocate_engines(["ipv4", "qm"], 1, curves=curves)
+
+
+def test_allocation_improves_bottleneck(curves):
+    result = allocate_engines(["ipv4", "qm"], 6, curves=curves)
+    assert isinstance(result, AllocationResult)
+    assert result.application_cost <= result.sequential_cost
+    assert result.speedup >= 1.0
+    assert result.engines_used() <= 6
+
+
+def test_serialized_pps_gets_no_extra_engines(curves):
+    result = allocate_engines(["ipv4", "qm"], 6, curves=curves)
+    assert result.chosen["qm"].engines == 1
+    # Engines flow to the PPS that can use them.
+    assert result.chosen["ipv4"].engines >= 2
+
+
+def test_history_records_each_upgrade(curves):
+    result = allocate_engines(["ipv4", "qm"], 5, curves=curves)
+    for name, engines, cost in result.history:
+        assert name in ("ipv4", "qm")
+        assert engines >= 2
+        assert cost > 0
+    # Bottleneck cost is non-increasing along the history.
+    costs = [cost for _, _, cost in result.history]
+    assert costs == sorted(costs, reverse=True)

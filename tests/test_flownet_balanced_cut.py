@@ -1,0 +1,117 @@
+"""Tests for the Yang–Wong balanced minimum-cut heuristic."""
+
+import pytest
+
+from repro.flownet.balanced_cut import BalancedCut, BalancedCutResult
+from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
+
+
+def chain(weights, caps, *, constraints=True):
+    """s -> n0 -> n1 -> ... -> t with given node weights and edge caps."""
+    net = FlowNetwork()
+    net.add_node("s")
+    for index, weight in enumerate(weights):
+        net.add_node(index, weight=weight)
+    net.add_node("t")
+    net.set_source("s")
+    net.set_sink("t")
+    net.add_edge("s", 0, INFINITE_CAPACITY)
+    for index, cap in enumerate(caps):
+        net.add_edge(index, index + 1, cap)
+        if constraints:
+            net.add_edge(index + 1, index, INFINITE_CAPACITY)
+    net.add_edge(len(weights) - 1, "t", INFINITE_CAPACITY)
+    return net
+
+
+def test_balanced_cut_prefers_cheap_edge_in_band():
+    # Two candidate cuts inside the band; the cheaper one must win.
+    net = chain([10, 10, 10, 10], caps=[9, 1, 9])
+    result = BalancedCut(epsilon=0.5).find(net, target_weight=20)
+    assert result.balanced
+    assert result.source_side == {0, 1}
+    assert result.cut_value == 1
+
+
+def test_tight_epsilon_forces_exact_half():
+    net = chain([10, 10, 10, 10], caps=[1, 9, 1])
+    result = BalancedCut(epsilon=1.0 / 16.0).find(net, target_weight=20)
+    assert result.balanced
+    assert result.weight == 20
+    assert result.cut_value == 9  # balance beats cost, as the paper says
+
+
+def test_loose_epsilon_prefers_cost():
+    net = chain([10, 10, 10, 10], caps=[1, 9, 1])
+    result = BalancedCut(epsilon=0.6).find(net, target_weight=20)
+    assert result.balanced
+    assert result.cut_value == 1  # cost wins within the wide band
+
+
+def test_single_heavy_node_is_best_effort():
+    # One node holds nearly all weight: no balanced bipartition exists.
+    net = chain([1, 100, 1], caps=[5, 5])
+    result = BalancedCut(epsilon=1.0 / 16.0).find(net, target_weight=51)
+    assert not result.balanced
+    assert result.weight in (1, 101, 102)
+
+
+def test_constraints_never_cut():
+    net = chain([5, 5, 5, 5], caps=[2, 2, 2])
+    result = BalancedCut(epsilon=0.3).find(net, target_weight=10)
+    # The source side must be a prefix (constraint edges enforce order).
+    side = sorted(result.source_side)
+    assert side == list(range(len(side)))
+
+
+def test_incremental_and_scratch_agree():
+    for epsilon in (0.1, 0.3):
+        warm = BalancedCut(epsilon=epsilon, incremental=True).find(
+            chain([7, 3, 9, 5, 6], caps=[4, 2, 7, 3]), target_weight=15)
+        cold = BalancedCut(epsilon=epsilon, incremental=False).find(
+            chain([7, 3, 9, 5, 6], caps=[4, 2, 7, 3]), target_weight=15)
+        assert warm.source_side == cold.source_side
+        assert warm.cut_value == cold.cut_value
+
+
+def test_forceable_predicate_restricts_contraction():
+    net = FlowNetwork()
+    net.add_node("s")
+    net.add_node(("unit", 0), weight=10)
+    net.add_node(("var", 0), weight=0)
+    net.add_node(("unit", 1), weight=10)
+    net.add_node("t")
+    net.set_source("s")
+    net.set_sink("t")
+    net.add_edge("s", ("unit", 0), INFINITE_CAPACITY)
+    net.add_edge(("unit", 0), ("var", 0), 3)
+    net.add_edge(("var", 0), ("unit", 1), INFINITE_CAPACITY)
+    net.add_edge(("unit", 1), ("unit", 0), INFINITE_CAPACITY)
+    net.add_edge(("unit", 1), "t", INFINITE_CAPACITY)
+    finder = BalancedCut(
+        epsilon=0.2,
+        forceable=lambda key: isinstance(key, tuple) and key[0] == "unit",
+    )
+    result = finder.find(net, target_weight=10)
+    assert result.balanced
+    assert ("unit", 0) in result.source_side
+    assert ("unit", 1) not in result.source_side
+
+
+def test_dimensional_balance_prefers_even_dims():
+    # Nodes alternate between two classes; targets ask for one of each.
+    net = chain([10, 10, 10, 10], caps=[5, 5, 5])
+    dims = {net.node(0): (10.0, 0.0), net.node(1): (0.0, 10.0),
+            net.node(2): (10.0, 0.0), net.node(3): (0.0, 10.0)}
+    result = BalancedCut(epsilon=0.3).find(
+        net, target_weight=20, dims=dims, dim_targets=(10.0, 10.0))
+    assert result.balanced
+    assert result.dim_weights == (10.0, 10.0)
+    assert result.dim_deviation == pytest.approx(0.0)
+
+
+def test_result_reports_iterations():
+    net = chain([10, 10, 10, 10], caps=[1, 1, 1])
+    result = BalancedCut(epsilon=0.2).find(net, target_weight=20)
+    assert isinstance(result, BalancedCutResult)
+    assert result.iterations >= 1

@@ -1,0 +1,111 @@
+"""Tests for whole-program inlining."""
+
+from repro.ir.instructions import Call
+from repro.ir.inline import inline_module
+from repro.ir.lowering import lower_program
+from repro.ir.verify import verify_function
+from repro.lang import compile_source
+
+from helpers import compile_module, standard_setup
+from repro.runtime import MachineState, run_sequential, observe
+
+
+def user_calls(function, module):
+    return [inst for inst in function.all_instructions()
+            if isinstance(inst, Call) and inst.callee in module.functions]
+
+
+def test_all_user_calls_inlined():
+    module = compile_module("""
+        int helper(int x) { return x * 2; }
+        int outer(int x) { return helper(x) + helper(x + 1); }
+        pps p { for (;;) { int v = outer(3); trace(1, v); } }
+    """)
+    for function in list(module.functions.values()) + [module.pps("p")]:
+        assert not user_calls(function, module)
+        verify_function(function)
+
+
+def test_inlined_semantics_match():
+    module = compile_module("""
+        pipe in_q;
+        int clamp(int v, int lo, int hi) {
+            if (v < lo) return lo;
+            if (v > hi) return hi;
+            return v;
+        }
+        pps p { for (;;) { int v = pipe_recv(in_q);
+                           trace(1, clamp(v, 10, 20)); } }
+    """)
+    state = MachineState(module)
+    state.feed_pipe("in_q", [5, 15, 25])
+    run_sequential(module.pps("p"), state, iterations=3)
+    assert state.traces[1] == [10, 15, 20]
+
+
+def test_multiple_returns_join():
+    module = compile_module("""
+        pipe in_q;
+        int sign(int v) {
+            if (v > 0) return 1;
+            if (v < 0) return -1;
+            return 0;
+        }
+        pps p { for (;;) { trace(1, sign(pipe_recv(in_q))); } }
+    """)
+    state = MachineState(module)
+    state.feed_pipe("in_q", [7, -3, 0])
+    run_sequential(module.pps("p"), state, iterations=3)
+    assert state.traces[1] == [1, -1, 0]
+
+
+def test_void_function_inlined():
+    module = compile_module("""
+        pipe in_q;
+        void note(int v) { trace(9, v); }
+        pps p { for (;;) { int v = pipe_recv(in_q); note(v + 1); } }
+    """)
+    state = MachineState(module)
+    state.feed_pipe("in_q", [1, 2])
+    run_sequential(module.pps("p"), state, iterations=2)
+    assert state.traces[9] == [2, 3]
+
+
+def test_nested_inlining_depth():
+    module = compile_module("""
+        int a(int x) { return x + 1; }
+        int b(int x) { return a(x) + 1; }
+        int c(int x) { return b(x) + 1; }
+        pps p { for (;;) { trace(1, c(0)); } }
+    """)
+    state = MachineState(module)
+    run_sequential(module.pps("p"), state, iterations=1)
+    assert state.traces[1] == [3]
+
+
+def test_callee_arrays_duplicated_per_call_site():
+    module = lower_program(compile_source("""
+        int use_buffer(int v) {
+            int buf[4];
+            buf[0] = v;
+            return buf[0] + 1;
+        }
+        pps p { for (;;) { trace(1, use_buffer(1) + use_buffer(2)); } }
+    """))
+    inline_module(module)
+    pps = module.pps("p")
+    assert len(pps.arrays) == 2  # one frame per inlined call
+
+
+def test_argument_evaluation_happens_once():
+    module = compile_module("""
+        pipe in_q;
+        int twice(int x) { return x + x; }
+        pps p { for (;;) { trace(1, twice(pipe_recv(in_q))); } }
+    """)
+    state = MachineState(module)
+    state.feed_pipe("in_q", [21, 99])
+    run_sequential(module.pps("p"), state, iterations=1)
+    # Only one receive consumed per iteration, doubled.
+    assert state.traces[1] == [42]
+    assert list(state.pipe("in_q").queue) == [99]

@@ -1,0 +1,109 @@
+"""Unit tests for the PPS-C lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def test_empty_source_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_identifiers_and_keywords():
+    tokens = tokenize("int foo while whilex _bar pps")
+    assert [t.kind for t in tokens[:-1]] == [
+        TokenKind.KW_INT,
+        TokenKind.IDENT,
+        TokenKind.KW_WHILE,
+        TokenKind.IDENT,
+        TokenKind.IDENT,
+        TokenKind.KW_PPS,
+    ]
+    assert tokens[1].text == "foo"
+    assert tokens[3].text == "whilex"
+
+
+def test_decimal_hex_octal_literals():
+    tokens = tokenize("42 0x1F 0755 0")
+    assert [t.value for t in tokens[:-1]] == [42, 31, 493, 0]
+
+
+def test_char_literals():
+    tokens = tokenize(r"'a' '\n' '\\' '\0'")
+    assert [t.value for t in tokens[:-1]] == [ord("a"), 10, 92, 0]
+
+
+def test_malformed_number_rejected():
+    with pytest.raises(LexError):
+        tokenize("123abc")
+
+
+def test_malformed_hex_rejected():
+    with pytest.raises(LexError):
+        tokenize("0x")
+
+
+def test_maximal_munch_operators():
+    assert kinds("<<= << <= <")[:-1] == [
+        TokenKind.LSHIFT_ASSIGN,
+        TokenKind.LSHIFT,
+        TokenKind.LE,
+        TokenKind.LT,
+    ]
+    assert kinds("a+++b")[:-1] == [
+        TokenKind.IDENT,
+        TokenKind.PLUS_PLUS,
+        TokenKind.PLUS,
+        TokenKind.IDENT,
+    ]
+
+
+def test_line_and_block_comments_skipped():
+    source = """
+    a // trailing comment
+    /* block
+       comment */ b
+    """
+    tokens = tokenize(source)
+    assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unterminated_char_rejected():
+    with pytest.raises(LexError):
+        tokenize("'a")
+
+
+def test_unknown_character_rejected():
+    with pytest.raises(LexError):
+        tokenize("int @")
+
+
+def test_locations_track_lines_and_columns():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].location.line == 1
+    assert tokens[0].location.column == 1
+    assert tokens[1].location.line == 2
+    assert tokens[1].location.column == 3
+
+
+def test_all_operator_lexemes_roundtrip():
+    # Every operator in the table lexes to its own kind.
+    from repro.lang.lexer import _OPERATORS
+
+    for text, kind in _OPERATORS:
+        tokens = tokenize(f" {text} ")
+        assert tokens[0].kind is kind, text
+        assert tokens[0].text == text

@@ -1,0 +1,183 @@
+"""Unit tests for PPS-C semantic analysis."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.lang.errors import SemanticError
+
+
+def check_ok(source):
+    return compile_source(source)
+
+
+def check_fails(source, match):
+    with pytest.raises(SemanticError, match=match):
+        compile_source(source)
+
+
+def test_minimal_valid_program():
+    check_ok(
+        """
+        pipe out_ring;
+        pps p {
+            int n = 0;
+            for (;;) {
+                n = n + 1;
+                pipe_send(out_ring, n);
+            }
+        }
+        """
+    )
+
+
+def test_use_before_declaration_rejected():
+    check_fails("void f(void) { x = 1; int x; }", "undeclared")
+
+
+def test_scoping_allows_shadowing_in_nested_blocks():
+    check_ok("void f(void) { int x = 1; { int x = 2; x = 3; } x = 4; }")
+
+
+def test_redeclaration_in_same_scope_rejected():
+    check_fails("void f(void) { int x; int x; }", "redeclaration")
+
+
+def test_sibling_scopes_are_independent():
+    check_ok("void f(int c) { if (c) { int t = 1; t = t; } else { int t = 2; t = t; } }")
+
+
+def test_array_must_be_indexed():
+    check_fails("void f(void) { int a[4]; int y = a; }", "without an index")
+
+
+def test_scalar_cannot_be_indexed():
+    check_fails("void f(void) { int x; int y = x[0]; }", "not an array")
+
+
+def test_whole_array_assignment_rejected():
+    check_fails("void f(void) { int a[4]; a = 1; }", "array")
+
+
+def test_duplicate_toplevel_names_rejected():
+    check_fails("pipe p; memory p[4];", "already declared")
+
+
+def test_intrinsic_name_collision_rejected():
+    check_fails("int mem_read(int a) { return a; }", "collides with an intrinsic")
+
+
+def test_call_arity_checked():
+    check_fails(
+        "int g(int a) { return a; } void f(void) { int x = g(1, 2); }",
+        "expects 1 argument",
+    )
+
+
+def test_void_function_as_value_rejected():
+    check_fails(
+        "void g(void) { } void f(void) { int x = g(); }",
+        "used as a value",
+    )
+
+
+def test_undeclared_function_rejected():
+    check_fails("void f(void) { g(); }", "undeclared function")
+
+
+def test_direct_recursion_rejected():
+    check_fails("int f(int n) { return f(n); }", "recursive")
+
+
+def test_mutual_recursion_rejected():
+    check_fails(
+        """
+        int f(int n) { return g(n); }
+        int g(int n) { return f(n); }
+        """,
+        "recursive",
+    )
+
+
+def test_intrinsic_region_argument_must_be_memory():
+    check_fails(
+        "void f(int a) { int x = mem_read(a, 0); }",
+        "must name a declared memory",
+    )
+    check_ok("memory m[8]; void f(void) { int x = mem_read(m, 0); }")
+
+
+def test_intrinsic_pipe_argument_must_be_pipe():
+    check_fails("void f(int a) { pipe_send(a, 1); }", "must name a declared pipe")
+    check_ok("pipe q; void f(void) { pipe_send(q, 1); }")
+
+
+def test_memory_name_not_usable_as_value():
+    check_fails("memory m[8]; void f(void) { int x = m; }", "memory 'm'")
+
+
+def test_pipe_name_not_usable_as_value():
+    check_fails("pipe q; void f(void) { int x = q; }", "pipe 'q'")
+
+
+def test_intrinsic_arity_checked():
+    check_fails("memory m[8]; void f(void) { mem_write(m, 0); }", "expects 3")
+
+
+def test_void_intrinsic_as_value_rejected():
+    check_fails("pipe q; void f(void) { int x = pipe_send(q, 1); }", "used as a value")
+
+
+def test_break_outside_loop_rejected():
+    check_fails("void f(void) { break; }", "outside loop")
+
+
+def test_continue_outside_loop_rejected():
+    check_fails("void f(void) { continue; }", "outside loop")
+
+
+def test_break_inside_switch_allowed():
+    check_ok("void f(int x) { switch (x) { case 1: break; } }")
+
+
+def test_return_value_mismatch_rejected():
+    check_fails("int f(void) { return; }", "must return a value")
+    check_fails("void f(void) { return 1; }", "cannot return a value")
+
+
+def test_return_in_pps_rejected():
+    check_fails("pps p { for (;;) { return; } }", "not allowed in a pps")
+
+
+def test_pps_requires_exactly_one_infinite_loop():
+    check_fails("pps p { int x = 0; }", "exactly one top-level infinite loop")
+    check_fails(
+        "pps p { for (;;) { int a = 0; } for (;;) { int b = 0; } }",
+        "exactly one",
+    )
+
+
+def test_pps_statements_after_loop_rejected():
+    check_fails("pps p { for (;;) { int a = 0; } int x = 0; }", "after its PPS loop")
+
+
+def test_pps_init_statements_allowed():
+    check_ok("pps p { int n = 0; for (;;) { n = n + 1; } }")
+
+
+def test_inner_infinite_loop_without_break_rejected():
+    check_fails(
+        "pps p { for (;;) { while (1) { int x = 0; } } }",
+        "infinite loop with no break",
+    )
+
+
+def test_inner_infinite_loop_with_break_allowed():
+    check_ok("pps p { for (;;) { int i = 0; while (1) { i++; if (i > 3) break; } } }")
+
+
+def test_local_shadowing_global_memory_rejected():
+    check_fails("memory m[8]; void f(void) { int m = 0; }", "shadows a global")
+
+
+def test_continue_in_pps_loop_allowed():
+    check_ok("pps p { for (;;) { int x = 1; if (x) continue; x = 2; } }")

@@ -1,0 +1,78 @@
+"""Tests for the machine model (cost models and the IXP description)."""
+
+import pytest
+
+from repro.machine import (
+    IXP2400,
+    IXP2800,
+    NN_RING,
+    SCRATCH_RING,
+    SRAM_RING,
+    CostModel,
+    NetworkProcessor,
+)
+
+
+def test_ixp2800_inventory():
+    assert IXP2800.engine_count == 16
+    assert IXP2400.engine_count == 8
+    clusters = {engine.cluster for engine in IXP2800.engines}
+    assert clusters == {0, 1}
+    assert all(engine.threads == 8 for engine in IXP2800.engines)
+
+
+def test_nn_rings_connect_adjacent_engines_within_cluster():
+    assert IXP2800.are_neighbors(0, 1)
+    assert IXP2800.are_neighbors(8, 9)
+    assert not IXP2800.are_neighbors(0, 2)
+    assert not IXP2800.are_neighbors(7, 8)  # cluster boundary
+
+
+def test_channel_selection():
+    assert IXP2800.channel_for(2, 3) is NN_RING
+    assert IXP2800.channel_for(2, 5) is SCRATCH_RING
+
+
+def test_map_pipeline_consecutive():
+    engines = IXP2800.map_pipeline(4, first_engine=2)
+    assert engines == [2, 3, 4, 5]
+    channels = IXP2800.channels_for_pipeline(engines)
+    assert len(channels) == 3
+    assert all(ch is NN_RING for ch in channels)
+
+
+def test_map_pipeline_across_cluster_uses_scratch():
+    engines = IXP2800.map_pipeline(4, first_engine=6)
+    channels = IXP2800.channels_for_pipeline(engines)
+    assert channels[0] is NN_RING       # 6 -> 7
+    assert channels[1] is SCRATCH_RING  # 7 -> 8 crosses clusters
+    assert channels[2] is NN_RING       # 8 -> 9
+
+
+def test_map_pipeline_capacity_check():
+    with pytest.raises(ValueError):
+        IXP2800.map_pipeline(17)
+    with pytest.raises(ValueError):
+        IXP2400.map_pipeline(5, first_engine=4)
+
+
+def test_cost_model_arithmetic():
+    model = CostModel("test", vcost_per_word=3, ccost=2, send_fixed=4,
+                      send_per_word=1, recv_fixed=4, recv_per_word=2)
+    assert model.vcost(5) == 15
+    assert model.message_cost(5) == 4 + 4 + 5 * 3
+
+
+def test_ring_cost_ordering():
+    # Scratch is dearer than NN, SRAM dearer still.
+    for words in (1, 4, 16):
+        assert NN_RING.message_cost(words) < SCRATCH_RING.message_cost(words)
+        assert SCRATCH_RING.message_cost(words) < SRAM_RING.message_cost(words)
+
+
+def test_custom_processor():
+    tiny = NetworkProcessor.build("tiny", clusters=1, engines_per_cluster=3,
+                                  threads=4)
+    assert tiny.engine_count == 3
+    assert tiny.engines[0].threads == 4
+    assert tiny.are_neighbors(1, 2)

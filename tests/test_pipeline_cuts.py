@@ -1,0 +1,118 @@
+"""Tests for stage selection (successive balanced cuts)."""
+
+import pytest
+
+from repro.analysis.cfg import find_pps_loop, split_large_blocks
+from repro.analysis.dependence_graph import LoopDependenceModel
+from repro.ir.clone import clone_function
+from repro.pipeline.cuts import select_stages, unit_profile_dims
+from repro.ssa import construct_ssa
+
+from helpers import STANDARD_PPS, compile_module
+
+
+def model_of(source, pps_name=None, max_block=12):
+    module = compile_module(source)
+    name = pps_name or next(iter(module.ppses))
+    work = clone_function(module.pps(name))
+    if max_block:
+        split_large_blocks(work, max_block)
+    ssa = clone_function(work)
+    construct_ssa(ssa)
+    return LoopDependenceModel(ssa, find_pps_loop(ssa))
+
+
+def test_every_block_assigned():
+    model = model_of(STANDARD_PPS)
+    assignment = select_stages(model, 3)
+    assert set(assignment.block_stage) == set(model.loop.body)
+    assert set(assignment.block_stage.values()) <= {1, 2, 3}
+
+
+def test_header_in_first_stage_latch_in_last():
+    model = model_of(STANDARD_PPS)
+    assignment = select_stages(model, 4)
+    assert assignment.block_stage[model.loop.header] == 1
+    assert assignment.block_stage[model.loop.latch] == 4
+
+
+def test_dependences_point_forward():
+    model = model_of(STANDARD_PPS)
+    assignment = select_stages(model, 4)
+    stage_of = assignment.unit_stage
+    for edge in model.unit_edges():
+        assert stage_of[edge.src] <= stage_of[edge.dst]
+
+
+def test_control_flow_contiguity():
+    model = model_of(STANDARD_PPS)
+    assignment = select_stages(model, 4)
+    for src in model.sgraph.nodes:
+        for dst in model.sgraph.succs(src):
+            assert (assignment.unit_stage[model.unit_of_node(src)]
+                    <= assignment.unit_stage[model.unit_of_node(dst)])
+
+
+def test_stage_weights_roughly_balanced():
+    model = model_of(STANDARD_PPS)
+    assignment = select_stages(model, 2)
+    weights = assignment.stage_weights(model)
+    total = model.total_weight()
+    # Stage 1 should hold a substantial share, not a sliver.
+    assert weights[1] > total * 0.25
+    assert weights[2] > total * 0.25
+
+
+def test_degree_one_puts_everything_in_stage_one():
+    model = model_of(STANDARD_PPS)
+    assignment = select_stages(model, 1)
+    assert set(assignment.block_stage.values()) == {1}
+    assert not assignment.diagnostics
+
+
+def test_serialized_pps_degenerates_gracefully():
+    model = model_of("""
+        memory state[8];
+        pps p { for (;;) {
+            int v = mem_read(state, 0);
+            int w = v * 3 + 1;
+            int x = w ^ 255;
+            mem_write(state, 0, x);
+        } }
+    """)
+    assignment = select_stages(model, 4)
+    weights = assignment.stage_weights(model)
+    # The serialized unit dominates one stage; the cut cannot balance.
+    assert max(weights.values()) > model.total_weight() * 0.8
+
+
+def test_invalid_degree_rejected():
+    model = model_of(STANDARD_PPS)
+    with pytest.raises(ValueError):
+        select_stages(model, 0)
+
+
+def test_diagnostics_one_per_cut():
+    model = model_of(STANDARD_PPS)
+    assignment = select_stages(model, 5)
+    assert len(assignment.diagnostics) == 4
+    for diag, stage in zip(assignment.diagnostics, range(1, 5)):
+        assert diag.stage == stage
+        assert diag.target > 0
+
+
+def test_profile_dims_change_assignment_shape():
+    model = model_of(STANDARD_PPS)
+    # A fake profile: every block executes once per iteration.
+    profile = {name: 1.0 for name in model.loop.body}
+    dims = unit_profile_dims(model, [profile])
+    assert sum(v[0] for v in dims.values()) == pytest.approx(
+        model.total_weight())
+    assignment = select_stages(model, 3, profiles=[profile])
+    assert set(assignment.block_stage.values()) <= {1, 2, 3}
+
+
+def test_incremental_matches_scratch_assignment():
+    warm = select_stages(model_of(STANDARD_PPS), 4, incremental=True)
+    cold = select_stages(model_of(STANDARD_PPS), 4, incremental=False)
+    assert warm.block_stage == cold.block_stage

@@ -1,0 +1,162 @@
+"""Tests for PPS replication (the multiprocessing transformation, §2.2/§5)."""
+
+import pytest
+
+from repro.pipeline.replicate import (
+    STATE_REGION_MARKER,
+    SeqAdvance,
+    SeqWait,
+    replicate_pps,
+)
+from repro.pipeline.transform import PipelineError
+from repro.runtime import (
+    MachineState,
+    assert_equivalent,
+    observe,
+    run_sequential,
+)
+from repro.runtime.scheduler import run_replicas
+from repro.testing import random_pps_source
+
+from helpers import STANDARD_PPS, compile_module, standard_setup
+
+
+def run_both(module, pps_name, ways, setup, iterations):
+    baseline_state = MachineState(module)
+    setup(baseline_state)
+    run_sequential(module.pps(pps_name), baseline_state,
+                   iterations=iterations)
+    baseline = observe(baseline_state)
+
+    result = replicate_pps(module, pps_name, ways)
+    state = MachineState(module)
+    setup(state)
+    run = run_replicas(result.replicas, state, iterations=iterations)
+    assert_equivalent(baseline, observe(state))
+    return result, run
+
+
+def test_replicas_preserve_behaviour():
+    module = compile_module(STANDARD_PPS)
+    for ways in (1, 2, 3, 5):
+        run_both(module, "worker", ways, lambda s: standard_setup(s, 30), 30)
+
+
+def test_replica_functions_and_names():
+    module = compile_module(STANDARD_PPS)
+    result = replicate_pps(module, "worker", 3)
+    assert len(result.replicas) == 3
+    assert [r.index for r in result.replicas] == [1, 2, 3]
+    assert all("worker.r" in r.function.name for r in result.replicas)
+
+
+def test_serial_resources_are_synchronized():
+    module = compile_module(STANDARD_PPS)
+    result = replicate_pps(module, "worker", 2)
+    function = result.replicas[0].function
+    waits = [i for i in function.all_instructions() if isinstance(i, SeqWait)]
+    advances = [i for i in function.all_instructions()
+                if isinstance(i, SeqAdvance)]
+    assert waits and advances
+    # Every advanced resource was waited on somewhere.
+    assert {str(a.resource) for a in advances} <= {str(w.resource)
+                                                   for w in waits} | {
+        str(a.resource) for a in advances}
+    # Pipes appear among the synchronized resources.
+    assert any(r == ("pipe", "in_q") for r in result.serial_resources)
+
+
+def test_loop_carried_state_shared_through_region():
+    module = compile_module(STANDARD_PPS)  # 'seq' is loop-carried
+    result = replicate_pps(module, "worker", 2)
+    assert result.shared_state_roots
+    assert any(STATE_REGION_MARKER in name for name in module.regions)
+
+
+def test_state_region_excluded_from_observation():
+    module = compile_module(STANDARD_PPS)
+    replicate_pps(module, "worker", 2)
+    state = MachineState(module)
+    snapshot = observe(state)
+    assert not any(STATE_REGION_MARKER in name for name in snapshot.regions)
+
+
+def test_stateless_pps_has_no_state_region():
+    module = compile_module("""
+        pipe in_q;
+        pipe out_q;
+        pps pure { for (;;) { pipe_send(out_q, pipe_recv(in_q) * 2); } }
+    """)
+    result = replicate_pps(module, "pure", 3)
+    assert not result.shared_state_roots
+
+    def setup(state):
+        state.feed_pipe("in_q", list(range(12)))
+
+    run_both(module, "pure", 3, setup, 12)
+
+
+def test_shared_memory_pps_serializes_but_stays_correct():
+    module = compile_module("""
+        pipe in_q;
+        memory counters[4];
+        pps tally { for (;;) {
+            int v = pipe_recv(in_q);
+            int slot = v & 3;
+            mem_write(counters, slot, mem_read(counters, slot) + 1);
+        } }
+    """)
+
+    def setup(state):
+        state.feed_pipe("in_q", [i * 7 for i in range(20)])
+
+    result, run = run_both(module, "tally", 4, setup, 20)
+    assert ("mem", "counters") in result.serial_resources
+    # Multiple access sites: the region is held to the latch.
+    assert ("mem", "counters") in result.held_to_latch
+
+
+def test_iterations_divided_among_replicas():
+    module = compile_module(STANDARD_PPS)
+    result = replicate_pps(module, "worker", 3)
+    state = MachineState(module)
+    standard_setup(state, 10)
+    run = run_replicas(result.replicas, state, iterations=10)
+    completed = sorted(stats.iterations - 1 for stats in run.stats.values())
+    assert sum(completed) == 10
+    assert completed == [3, 3, 4]
+
+
+def test_serial_section_stats_collected():
+    module = compile_module(STANDARD_PPS)
+    result = replicate_pps(module, "worker", 2)
+    state = MachineState(module)
+    standard_setup(state, 16)
+    run = run_replicas(result.replicas, state, iterations=16)
+    totals = {}
+    for stats in run.stats.values():
+        for resource, weight in stats.serial_weight.items():
+            totals[resource] = totals.get(resource, 0) + weight
+    assert totals, "critical-section accounting must be populated"
+    assert all(weight > 0 for weight in totals.values())
+
+
+def test_bad_arguments_rejected():
+    module = compile_module(STANDARD_PPS)
+    with pytest.raises(PipelineError):
+        replicate_pps(module, "worker", 0)
+    with pytest.raises(PipelineError):
+        replicate_pps(module, "missing", 2)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_programs_replicate_equivalently(seed):
+    module = compile_module(random_pps_source(seed))
+
+    def setup(state):
+        for table in range(2):
+            state.load_region(f"tab{table}",
+                              [((i * 13 + table) % 97) for i in range(32)])
+        state.feed_pipe("in_q", [((i * 31 + seed) % 251) for i in range(20)])
+
+    run_both(module, "generated", 3, setup, 20)

@@ -1,0 +1,114 @@
+"""Tests for SSA construction and destruction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.clone import clone_function
+from repro.ir.instructions import Phi
+from repro.ir.verify import verify_function
+from repro.runtime import MachineState, observe, run_sequential
+from repro.ssa import construct_ssa, destruct_ssa
+from repro.ssa.destruct import split_critical_edges
+from repro.testing import random_pps_source
+
+from helpers import STANDARD_PPS, compile_module, standard_setup
+
+
+def ssa_of(source):
+    module = compile_module(source)
+    pps = module.pps(next(iter(module.ppses)))
+    ssa = clone_function(pps)
+    construct_ssa(ssa)
+    verify_function(ssa, ssa=True)
+    return module, pps, ssa
+
+
+def test_loop_carried_variable_gets_header_phi():
+    module, pps, ssa = ssa_of("pps p { int n = 0; for (;;) { n = n + 1; } }")
+    header = next(name for name in ssa.block_order
+                  if name.startswith("pps_header"))
+    phis = ssa.block(header).phis()
+    assert len(phis) == 1
+    assert phis[0].dest.root().name.startswith("n")
+
+
+def test_if_join_gets_phi_only_when_live():
+    module, pps, ssa = ssa_of("""
+        pps p { for (;;) { int x = 1;
+            if (x) { x = 2; } else { x = 3; }
+            trace(1, x); } }
+    """)
+    join = next(name for name in ssa.block_order if name.startswith("if_join"))
+    assert len(ssa.block(join).phis()) == 1
+
+
+def test_pruned_ssa_skips_dead_merges():
+    module, pps, ssa = ssa_of("""
+        pps p { for (;;) { int x = 1;
+            if (x) { x = 2; } else { x = 3; }
+            trace(1, 9); } }
+    """)
+    join = next(name for name in ssa.block_order if name.startswith("if_join"))
+    # x is dead after the if; pruned SSA places no phi for it.
+    assert not ssa.block(join).phis()
+
+
+def test_every_register_defined_once():
+    module, pps, ssa = ssa_of(STANDARD_PPS)
+    seen = set()
+    for inst in ssa.all_instructions():
+        for dest in inst.defs():
+            assert dest not in seen
+            seen.add(dest)
+
+
+def test_ssa_versions_point_at_roots():
+    module, pps, ssa = ssa_of("pps p { int n = 0; for (;;) { n = n + 2; } }")
+    versions = [dest for inst in ssa.all_instructions() for dest in inst.defs()
+                if dest.root().name.startswith("n")]
+    assert len(versions) >= 2
+    assert len({v.root() for v in versions}) == 1
+
+
+def test_destruct_removes_all_phis_and_verifies():
+    module, pps, ssa = ssa_of(STANDARD_PPS)
+    destruct_ssa(ssa)
+    assert not any(isinstance(i, Phi) for i in ssa.all_instructions())
+    verify_function(ssa)
+
+
+def test_destructed_ssa_is_semantically_identical():
+    module = compile_module(STANDARD_PPS)
+    pps = module.pps("worker")
+    ssa = clone_function(pps)
+    construct_ssa(ssa)
+    destruct_ssa(ssa)
+
+    def run(function):
+        state = MachineState(module)
+        standard_setup(state, 25)
+        run_sequential(function, state, iterations=25)
+        return observe(state)
+
+    base = run(pps)
+    roundtrip = run(ssa)
+    assert base.traces == roundtrip.traces
+    assert base.pipes == roundtrip.pipes
+
+
+def test_split_critical_edges_idempotent():
+    module, pps, ssa = ssa_of(STANDARD_PPS)
+    split_critical_edges(ssa)
+    assert split_critical_edges(ssa) == 0
+    verify_function(ssa, ssa=True)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=400))
+def test_ssa_construction_verifies_on_random_programs(seed):
+    module = compile_module(random_pps_source(seed))
+    pps = module.pps("generated")
+    ssa = clone_function(pps)
+    construct_ssa(ssa)
+    verify_function(ssa, ssa=True)
+    destruct_ssa(ssa)
+    verify_function(ssa)
