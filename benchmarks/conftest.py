@@ -18,6 +18,11 @@ from repro.eval.metrics import (
     measure_sequential,
 )
 
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 #: Traffic volume per measurement run (enough to amortize pipeline fill).
 PACKETS = 60
 

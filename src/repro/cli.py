@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     repro run file.ppc --pps NAME -d 4 \\
         --feed in_q=1,2,3 --iterations 3     # execute on the simulator
     repro figures [--packets 60]             # regenerate the paper figures
+    repro bench [--quick] [-o FILE]          # performance regression harness
 
 PPS-C files conventionally use the ``.ppc`` extension.
 """
@@ -192,6 +193,39 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+
+    from repro.eval.metrics import bench_headline
+
+    degrees = list(range(1, 5)) if args.quick else None
+    result = bench_headline(packets=args.packets,
+                            degrees=degrees,
+                            measure_reference=not args.no_reference)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+
+    print(f"bench: packets={args.packets} "
+          f"degrees={result['config']['degrees']}")
+    print(f"  build     {result['build_seconds']:8.3f}s")
+    print(f"  partition {result['partition_seconds']:8.3f}s")
+    print(f"  compile   {result['compile_seconds']:8.3f}s")
+    for figure, entry in result["figures"].items():
+        rate = entry["instructions_per_second"]
+        line = (f"  {figure}: {entry['wall_seconds']:.3f}s simulation, "
+                f"{entry['simulated_instructions']} instructions "
+                f"({rate / 1e6:.2f} Minstr/s)" if rate else
+                f"  {figure}: {entry['wall_seconds']:.3f}s simulation")
+        print(line)
+        if "speedup_vs_reference" in entry:
+            print(f"    reference interpreter: "
+                  f"{entry['reference_wall_seconds']:.3f}s "
+                  f"-> {entry['speedup_vs_reference']:.2f}x speedup")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
     p_fig.add_argument("--packets", type=int, default=60)
     p_fig.set_defaults(func=cmd_figures)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the performance regression harness")
+    p_bench.add_argument("--packets", type=int, default=60)
+    p_bench.add_argument("-o", "--output", default="BENCH_headline.json")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small degree sweep (1-4) for smoke runs")
+    p_bench.add_argument("--no-reference", action="store_true",
+                         help="skip the reference-interpreter 'before' run")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -26,65 +26,84 @@ def to_unsigned(value: int) -> int:
     return value & WORD_MASK
 
 
-def eval_binary(op: str, lhs: int, rhs: int) -> int:
-    """Evaluate a PPS-C binary operator on 32-bit values.
+def _div32(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        raise ZeroDivisionError("division by zero")
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return wrap32(quotient)
 
-    Division/modulo follow C semantics (truncation toward zero); division by
-    zero raises ``ZeroDivisionError`` (the interpreter turns it into a trap).
-    Shift counts are masked to 5 bits, as on the IXP ALU.
-    """
-    if op == "+":
-        return wrap32(lhs + rhs)
-    if op == "-":
-        return wrap32(lhs - rhs)
-    if op == "*":
-        return wrap32(lhs * rhs)
-    if op == "/":
-        if rhs == 0:
-            raise ZeroDivisionError("division by zero")
-        quotient = abs(lhs) // abs(rhs)
-        if (lhs < 0) != (rhs < 0):
-            quotient = -quotient
-        return wrap32(quotient)
-    if op == "%":
-        if rhs == 0:
-            raise ZeroDivisionError("modulo by zero")
-        return wrap32(lhs - eval_binary("/", lhs, rhs) * rhs)
-    if op == "&":
-        return wrap32(lhs & rhs)
-    if op == "|":
-        return wrap32(lhs | rhs)
-    if op == "^":
-        return wrap32(lhs ^ rhs)
-    if op == "<<":
-        return wrap32(lhs << (rhs & 31))
-    if op == ">>":
-        # Arithmetic shift on signed values, like the MicroEngine ALU.
-        return wrap32(lhs >> (rhs & 31))
-    if op == "==":
-        return int(lhs == rhs)
-    if op == "!=":
-        return int(lhs != rhs)
-    if op == "<":
-        return int(lhs < rhs)
-    if op == "<=":
-        return int(lhs <= rhs)
-    if op == ">":
-        return int(lhs > rhs)
-    if op == ">=":
-        return int(lhs >= rhs)
-    raise ValueError(f"unknown binary operator {op!r}")
+
+def _mod32(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        raise ZeroDivisionError("modulo by zero")
+    return wrap32(lhs - _div32(lhs, rhs) * rhs)
+
+
+#: Binary operator -> implementation over wrapped 32-bit signed values.
+#: Division/modulo follow C semantics (truncation toward zero); division by
+#: zero raises ``ZeroDivisionError`` (the interpreter turns it into a trap).
+#: Shift counts are masked to 5 bits, as on the IXP ALU.  The compiled
+#: interpreter binds these functions directly into per-instruction closures.
+BINARY_FUNCS: dict = {
+    "+": lambda lhs, rhs: wrap32(lhs + rhs),
+    "-": lambda lhs, rhs: wrap32(lhs - rhs),
+    "*": lambda lhs, rhs: wrap32(lhs * rhs),
+    "/": _div32,
+    "%": _mod32,
+    "&": lambda lhs, rhs: wrap32(lhs & rhs),
+    "|": lambda lhs, rhs: wrap32(lhs | rhs),
+    "^": lambda lhs, rhs: wrap32(lhs ^ rhs),
+    "<<": lambda lhs, rhs: wrap32(lhs << (rhs & 31)),
+    # Arithmetic shift on signed values, like the MicroEngine ALU.
+    ">>": lambda lhs, rhs: wrap32(lhs >> (rhs & 31)),
+    "==": lambda lhs, rhs: int(lhs == rhs),
+    "!=": lambda lhs, rhs: int(lhs != rhs),
+    "<": lambda lhs, rhs: int(lhs < rhs),
+    "<=": lambda lhs, rhs: int(lhs <= rhs),
+    ">": lambda lhs, rhs: int(lhs > rhs),
+    ">=": lambda lhs, rhs: int(lhs >= rhs),
+}
+
+#: Unary operator -> implementation over wrapped 32-bit signed values.
+UNARY_FUNCS: dict = {
+    "-": lambda operand: wrap32(-operand),
+    "~": lambda operand: wrap32(~operand),
+    "!": lambda operand: int(operand == 0),
+}
+
+
+def binary_func(op: str):
+    """The implementation function of a binary operator (for compilers)."""
+    func = BINARY_FUNCS.get(op)
+    if func is None:
+        raise ValueError(f"unknown binary operator {op!r}")
+    return func
+
+
+def unary_func(op: str):
+    """The implementation function of a unary operator (for compilers)."""
+    func = UNARY_FUNCS.get(op)
+    if func is None:
+        raise ValueError(f"unknown unary operator {op!r}")
+    return func
+
+
+def eval_binary(op: str, lhs: int, rhs: int) -> int:
+    """Evaluate a PPS-C binary operator on 32-bit values."""
+    func = BINARY_FUNCS.get(op)
+    if func is None:
+        raise ValueError(f"unknown binary operator {op!r}")
+    return func(lhs, rhs)
 
 
 def eval_unary(op: str, operand: int) -> int:
     """Evaluate a PPS-C unary operator on a 32-bit value."""
-    if op == "-":
-        return wrap32(-operand)
-    if op == "~":
-        return wrap32(~operand)
-    if op == "!":
-        return int(operand == 0)
-    raise ValueError(f"unknown unary operator {op!r}")
+    func = UNARY_FUNCS.get(op)
+    if func is None:
+        raise ValueError(f"unknown unary operator {op!r}")
+    return func(operand)
 
 
 #: Binary operators that always produce 0/1.

@@ -18,7 +18,7 @@ class Value:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Const(Value):
     """An immediate 32-bit constant."""
 
@@ -58,7 +58,7 @@ class VReg(Value):
         return f"%{self.name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionRef(Value):
     """A reference to a declared shared-memory region."""
 
@@ -70,7 +70,7 @@ class RegionRef(Value):
         return f"@{self.name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PipeRef(Value):
     """A reference to a declared inter-PPS pipe."""
 

@@ -17,12 +17,15 @@ from repro.runtime.equivalence import (
     compare,
     observe,
 )
+from repro.runtime.compile import CompiledFunction, compile_function
 from repro.runtime.interp import Interpreter, InterpStats
+from repro.runtime.mode import reference_active, reference_mode
 from repro.runtime.packets import PacketError, PacketStore
 from repro.runtime.scheduler import RunResult, run_group, run_pipeline, run_sequential
-from repro.runtime.state import MachineState, Pipe, RuntimeError_
+from repro.runtime.state import MachineState, Pipe, RuntimeError_, WakeHub
 
 __all__ = [
+    "CompiledFunction",
     "DeviceModel",
     "Interpreter",
     "InterpStats",
@@ -36,10 +39,14 @@ __all__ = [
     "RunResult",
     "RuntimeError_",
     "TxRecord",
+    "WakeHub",
     "assert_equivalent",
     "compare",
+    "compile_function",
     "make_status",
     "observe",
+    "reference_active",
+    "reference_mode",
     "run_group",
     "run_pipeline",
     "run_sequential",

@@ -78,9 +78,15 @@ class TxRecord:
 
 
 class DeviceModel:
-    """Receive queues per port plus the transmit capture."""
+    """Receive queues per port plus the transmit capture.
 
-    def __init__(self):
+    ``hub`` is the machine's wake hub (see :class:`repro.runtime.state
+    .WakeHub`): feeding a port notifies interpreters parked on its
+    ``("rbuf", port)`` key, so a blocked RX PPS resumes without polling.
+    """
+
+    def __init__(self, hub=None):
+        self.hub = hub
         self._rx_queues: dict[int, deque[Mpacket]] = {}
         self._elements: dict[int, Mpacket] = {}
         self._tx_pending: dict[int, bytearray] = {}
@@ -104,6 +110,8 @@ class DeviceModel:
             mpacket = Mpacket(element, status, bytearray(chunk))
             self._elements[element] = mpacket
             queue.append(mpacket)
+        if self.hub is not None:
+            self.hub.notify(("rbuf", port))
 
     def rx_available(self, port: int) -> bool:
         return bool(self._rx_queues.get(port))

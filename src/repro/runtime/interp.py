@@ -7,6 +7,21 @@ block (empty pipe, idle device port, full bounded pipe), letting the
 scheduler interleave stages.  Instruction-count weights are accumulated
 per interpreter — the evaluation metric of the paper ("the number of
 instructions required for processing a minimum sized packet").
+
+Two dispatch strategies share this class:
+
+* the **compiled** path (default) executes per-instruction closures built
+  once per function by :mod:`repro.runtime.compile` — threaded code with
+  operands pre-resolved;
+* the **reference** path walks the IR with ``isinstance`` chains, exactly
+  as the original implementation did.  It is kept as the semantic oracle
+  for differential tests and as the "before" measurement of
+  ``repro bench``.
+
+Both paths publish the resource they are blocked on in ``wait_key``
+(``("recv", pipe)``, ``("send", pipe)``, ``("rbuf", port)``,
+``("seq", resource)``, or ``None`` for a voluntary per-iteration yield),
+which the event-driven scheduler uses to park and wake interpreters.
 """
 
 from __future__ import annotations
@@ -32,10 +47,12 @@ from repro.ir.instructions import (
 )
 from repro.ir.types import eval_binary, eval_unary, wrap32
 from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef, Value, VReg
+from repro.runtime import mode
+from repro.runtime.compile import compile_function
 from repro.runtime.state import MachineState, RuntimeError_
 
 
-@dataclass
+@dataclass(slots=True)
 class InterpStats:
     """Execution counters for one interpreter."""
 
@@ -59,7 +76,8 @@ class Interpreter:
                  max_iterations: int | None = None,
                  seq_offset: int = 0,
                  seq_stride: int = 1,
-                 fuel: int = 100_000_000):
+                 fuel: int = 100_000_000,
+                 compiled: bool | None = None):
         self.function = function
         self.state = state
         self.seq_offset = seq_offset
@@ -73,6 +91,11 @@ class Interpreter:
         self.max_iterations = max_iterations
         self.fuel = fuel
         self.finished = False
+        self.compiled = (not mode.reference_active()
+                         if compiled is None else compiled)
+        self.wait_key: tuple | None = None
+        self.prev_block: str | None = None
+        self.pipes: dict = {}
         self._held: dict = {}  # serially held resources -> weight mark
         for param in function.params:
             self.regs[param] = 0
@@ -94,6 +117,56 @@ class Interpreter:
     def run(self) -> Iterator[None]:
         """Generator: executes until return / iteration budget / fuel, and
         yields whenever blocked on a pipe or device."""
+        if self.compiled:
+            return self._run_compiled()
+        return self._run_reference()
+
+    def _run_compiled(self) -> Iterator[None]:
+        program = compile_function(self.function)
+        state = self.state
+        self.pipes = {name: state.pipe(name) for name in program.pipe_names}
+        regs = self.regs
+        for reg in program.registers:
+            if reg not in regs:  # keep params / caller-preloaded values
+                regs[reg] = 0
+        blocks = program.blocks
+        stats = self.stats
+        counts = stats.block_counts
+        loop_start = self.loop_start
+        max_iterations = self.max_iterations
+        block = blocks[program.entry]
+        while True:
+            name = block.name
+            if name == loop_start:
+                stats.iterations += 1
+                if (max_iterations is not None
+                        and stats.iterations > max_iterations):
+                    self.finished = True
+                    return
+                yield  # cooperative scheduling point, once per iteration
+            counts[name] = counts.get(name, 0) + 1
+            self.fuel -= block.cost
+            if self.fuel <= 0:
+                raise RuntimeError_(
+                    f"{self.function.name}: out of fuel (livelock?)"
+                )
+            for step in block.steps:
+                wait = step(self)
+                if wait is not None:
+                    while wait is not None:
+                        stats.blocked += 1
+                        self.wait_key = wait
+                        yield
+                        self.wait_key = None
+                        wait = step(self)
+            self.prev_block = name
+            next_name = block.term(self)
+            if next_name is None:
+                self.finished = True
+                return
+            block = blocks[next_name]
+
+    def _run_reference(self) -> Iterator[None]:
         block_name = self.function.entry
         assert block_name is not None
         prev_name: str | None = None
@@ -108,6 +181,7 @@ class Interpreter:
             block = self.function.block(block_name)
             counts = self.stats.block_counts
             counts[block_name] = counts.get(block_name, 0) + 1
+            self.prev_block = prev_name
             for inst in block.instructions:
                 if self.fuel <= 0:
                     raise RuntimeError_(
@@ -122,6 +196,7 @@ class Interpreter:
             assert terminator is not None
             self._account(terminator)
             prev_name = block_name
+            self.prev_block = block_name
             if isinstance(terminator, Jump):
                 block_name = terminator.target
             elif isinstance(terminator, Branch):
@@ -135,6 +210,13 @@ class Interpreter:
                 return
             else:  # pragma: no cover
                 raise RuntimeError_(f"unknown terminator {terminator}")
+
+    def _blocked(self, key: tuple) -> Iterator[None]:
+        """One blocked yield, publishing the awaited resource."""
+        self.stats.blocked += 1
+        self.wait_key = key
+        yield
+        self.wait_key = None
 
     def _account(self, inst) -> None:
         self.stats.instructions += 1
@@ -181,8 +263,7 @@ class Interpreter:
         elif isinstance(inst, PipeIn):
             pipe = self.state.pipe(inst.pipe.name)
             while not pipe.can_recv():
-                self.stats.blocked += 1
-                yield
+                yield from self._blocked(("recv", pipe.name))
             message = pipe.recv()
             if not isinstance(message, tuple):
                 message = (message,)
@@ -197,8 +278,7 @@ class Interpreter:
         elif isinstance(inst, PipeOut):
             pipe = self.state.pipe(inst.pipe.name)
             while not pipe.can_send():
-                self.stats.blocked += 1
-                yield
+                yield from self._blocked(("send", pipe.name))
             self._account(inst)
             pipe.send(tuple(self.value(value) for value in inst.values))
         elif isinstance(inst, Call):
@@ -217,8 +297,7 @@ class Interpreter:
         if isinstance(inst, SeqWait):
             target = self._global_iteration()
             while self.state.sequencers.get(inst.resource, 0) != target:
-                self.stats.blocked += 1
-                yield
+                yield from self._blocked(("seq", inst.resource))
             self._account(inst)
             # First wait of the iteration acquires the resource.
             self._held.setdefault(inst.resource, self.stats.weight)
@@ -232,7 +311,7 @@ class Interpreter:
                     f"{self.function.name}: sequencer for {inst.resource} "
                     f"advanced out of order ({current} != {expected})"
                 )
-            self.state.sequencers[inst.resource] = current + 1
+            self.state.advance_sequencer(inst.resource, current + 1)
             start = self._held.pop(inst.resource, None)
             if start is not None:
                 section = self.stats.weight - start
@@ -279,8 +358,7 @@ class Interpreter:
             assert isinstance(pipe_ref, PipeRef)
             pipe = state.pipe(pipe_ref.name)
             while not pipe.can_recv():
-                self.stats.blocked += 1
-                yield
+                yield from self._blocked(("recv", pipe.name))
             self._account(inst)
             message = pipe.recv()
             if isinstance(message, tuple):
@@ -294,8 +372,7 @@ class Interpreter:
             assert isinstance(pipe_ref, PipeRef)
             pipe = state.pipe(pipe_ref.name)
             while not pipe.can_send():
-                self.stats.blocked += 1
-                yield
+                yield from self._blocked(("send", pipe.name))
             self._account(inst)
             pipe.send(arg(1))
             return
@@ -303,8 +380,7 @@ class Interpreter:
             port = arg(0)
             element = state.devices.rbuf_next(port)
             while element is None:
-                self.stats.blocked += 1
-                yield
+                yield from self._blocked(("rbuf", port))
                 element = state.devices.rbuf_next(port)
             self._account(inst)
             self._set_result(inst, element)

@@ -1,0 +1,36 @@
+"""Execution-mode switch: compiled dispatch vs the reference interpreter.
+
+The compiled-dispatch interpreter (:mod:`repro.runtime.compile`) and the
+event-driven scheduler are the default execution core.  The original
+per-instruction ``isinstance`` interpreter and the polling round-robin
+scheduler are kept as the *reference* path: differential tests execute
+both and assert identical statistics, and ``repro bench`` times both to
+report the speedup of the compiled core.
+
+``reference_mode()`` flips every Interpreter/``run_group`` created inside
+the ``with`` block to the reference path (callers can still override
+per-instance with the ``compiled=`` / ``event_driven=`` keywords).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_REFERENCE = False
+
+
+def reference_active() -> bool:
+    """True while the reference (pre-compiled-dispatch) path is selected."""
+    return _REFERENCE
+
+
+@contextmanager
+def reference_mode(enabled: bool = True):
+    """Run the enclosed block on the reference interpreter + scheduler."""
+    global _REFERENCE
+    previous = _REFERENCE
+    _REFERENCE = enabled
+    try:
+        yield
+    finally:
+        _REFERENCE = previous

@@ -1,17 +1,31 @@
 """Cooperative execution of one or more PPS interpreters.
 
-``run_group`` round-robins a set of interpreters until quiescence: every
-interpreter is finished, or a full round makes no progress (everyone is
-blocked on empty pipes / idle devices).  This executes a whole pipelined
-PPS — or several communicating PPSes — faithfully, including bounded stage
-pipes (a full ring blocks the sender).
+``run_group`` drives a set of interpreters until quiescence: every
+interpreter is finished, or everyone left is blocked on empty pipes /
+full bounded pipes / idle devices / sequencers.  This executes a whole
+pipelined PPS — or several communicating PPSes — faithfully, including
+bounded stage pipes (a full ring blocks the sender).
+
+Two scheduling strategies share the entry point:
+
+* the **event-driven** scheduler (default) keeps a ready deque and parks
+  blocked interpreters on the :class:`~repro.runtime.state.WakeHub` key
+  of the resource they are waiting for; a ``Pipe.send``/``recv``,
+  ``feed_packet`` or sequencer advance wakes exactly the parked waiters.
+  Quiescence is simply "the ready deque is empty".
+* the **polling** scheduler is the original round-robin loop that steps
+  every live interpreter each round and detects quiescence by "a full
+  round made no progress".  It is kept as the reference for differential
+  tests and for the "before" numbers of ``repro bench``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.ir.function import Function
+from repro.runtime import mode
 from repro.runtime.interp import Interpreter, InterpStats
 from repro.runtime.state import MachineState, RuntimeError_
 
@@ -28,8 +42,73 @@ class RunResult:
 
 
 def run_group(interpreters: dict[str, Interpreter], *,
-              max_rounds: int = 10_000_000) -> RunResult:
-    """Run interpreters round-robin until everyone finishes or blocks."""
+              max_rounds: int = 10_000_000,
+              event_driven: bool | None = None) -> RunResult:
+    """Run interpreters together until everyone finishes or blocks."""
+    if event_driven is None:
+        event_driven = not mode.reference_active()
+    if event_driven:
+        return _run_group_event(interpreters, max_rounds=max_rounds)
+    return _run_group_polling(interpreters, max_rounds=max_rounds)
+
+
+def _run_group_event(interpreters: dict[str, Interpreter], *,
+                     max_rounds: int) -> RunResult:
+    """Ready-deque scheduler: blocked interpreters park on their wait key."""
+    result = RunResult()
+    generators = {name: interp.run() for name, interp in interpreters.items()}
+    ready: deque[str] = deque(generators)
+    queued = set(ready)      # names currently in the ready deque
+    parked: set[str] = set()  # names parked on a wake-hub key
+    hubs = {}
+    for interp in interpreters.values():
+        hubs[id(interp.state.wake_hub)] = interp.state.wake_hub
+
+    def wake(name: str) -> None:
+        if name in parked:
+            parked.discard(name)
+            if name not in queued:
+                queued.add(name)
+                ready.append(name)
+
+    for hub in hubs.values():
+        hub.attach(wake)
+    # The polling scheduler's max_rounds bounds *rounds over everyone*;
+    # here each step runs one interpreter, so scale the budget to match.
+    limit = max_rounds * max(1, len(interpreters))
+    steps = 0
+    try:
+        while ready:
+            steps += 1
+            if steps > limit:
+                raise RuntimeError_("scheduler exceeded max_rounds (livelock?)")
+            name = ready.popleft()
+            queued.discard(name)
+            interp = interpreters[name]
+            try:
+                next(generators[name])
+            except StopIteration:
+                continue
+            key = interp.wait_key
+            if key is None:
+                # Voluntary per-iteration yield: still runnable.
+                queued.add(name)
+                ready.append(name)
+            else:
+                parked.add(name)
+                interp.state.wake_hub.park(key, name)
+    finally:
+        for hub in hubs.values():
+            hub.detach()
+    result.rounds = steps
+    for name, interp in interpreters.items():
+        result.stats[name] = interp.stats
+    return result
+
+
+def _run_group_polling(interpreters: dict[str, Interpreter], *,
+                       max_rounds: int) -> RunResult:
+    """Reference scheduler: poll every live interpreter each round."""
     generators = {name: interp.run() for name, interp in interpreters.items()}
     live = dict(generators)
     result = RunResult()

@@ -14,25 +14,76 @@ class RuntimeError_(Exception):
     """A trap raised by the interpreter (bad memory access, etc.)."""
 
 
+class WakeHub:
+    """Wait/wake sets for the event-driven scheduler.
+
+    A blocked interpreter *parks* on the key of the resource it is waiting
+    for — ``("recv", pipe)`` for an empty pipe, ``("send", pipe)`` for a
+    full bounded pipe, ``("rbuf", port)`` for an idle device port,
+    ``("seq", resource)`` for a replication sequencer.  The resource's
+    state-changing operation *notifies* the key, which hands every parked
+    token back to the scheduler's ready queue.  With no scheduler attached
+    (sequential host-side use) notifications are dropped — nobody can be
+    parked.
+    """
+
+    __slots__ = ("_waiters", "_on_wake")
+
+    def __init__(self):
+        self._waiters: dict[tuple, list] = {}
+        self._on_wake = None
+
+    def attach(self, on_wake) -> None:
+        """Install the scheduler's wake callback (token -> None)."""
+        self._on_wake = on_wake
+
+    def detach(self) -> None:
+        self._on_wake = None
+        self._waiters.clear()
+
+    def park(self, key: tuple, token) -> None:
+        """Record ``token`` as waiting for ``key`` to be notified."""
+        self._waiters.setdefault(key, []).append(token)
+
+    def notify(self, key: tuple) -> None:
+        """Wake every token parked on ``key``."""
+        if not self._waiters:
+            return
+        tokens = self._waiters.pop(key, None)
+        if tokens and self._on_wake is not None:
+            for token in tokens:
+                self._on_wake(token)
+
+
 @dataclass
 class Pipe:
-    """A bounded FIFO of messages (words or word tuples)."""
+    """A bounded FIFO of messages (words or word tuples).
+
+    ``send``/``recv`` notify the machine's :class:`WakeHub` so interpreters
+    parked on the pipe resume exactly when it becomes ready.
+    """
 
     name: str
     capacity: int = 0  # 0 = unbounded
     queue: deque = field(default_factory=deque)
+    hub: WakeHub | None = None
 
     def can_send(self) -> bool:
         return self.capacity <= 0 or len(self.queue) < self.capacity
 
     def send(self, message) -> None:
         self.queue.append(message)
+        if self.hub is not None:
+            self.hub.notify(("recv", self.name))
 
     def can_recv(self) -> bool:
         return bool(self.queue)
 
     def recv(self):
-        return self.queue.popleft()
+        message = self.queue.popleft()
+        if self.capacity > 0 and self.hub is not None:
+            self.hub.notify(("send", self.name))
+        return message
 
 
 class MachineState:
@@ -41,6 +92,7 @@ class MachineState:
     def __init__(self, module: Module, *, pipe_capacity: int = 0):
         self.module = module
         self.pipe_capacity = pipe_capacity
+        self.wake_hub = WakeHub()
         self.regions: dict[str, list[int]] = {
             name: [0] * region.size for name, region in module.regions.items()
         }
@@ -48,9 +100,10 @@ class MachineState:
                                  for name, region in module.regions.items()}
         self.pipes: dict[str, Pipe] = {}
         for name in module.pipes:
-            self.pipes[name] = Pipe(name, capacity=pipe_capacity)
+            self.pipes[name] = Pipe(name, capacity=pipe_capacity,
+                                    hub=self.wake_hub)
         self.packets = PacketStore()
-        self.devices = DeviceModel()
+        self.devices = DeviceModel(hub=self.wake_hub)
         self.traces: dict[int, list[int]] = {}
         # Per-resource global iteration sequencers (PPS replication).
         self.sequencers: dict = {}
@@ -58,9 +111,14 @@ class MachineState:
     def pipe(self, name: str) -> Pipe:
         pipe = self.pipes.get(name)
         if pipe is None:
-            pipe = Pipe(name, capacity=self.pipe_capacity)
+            pipe = Pipe(name, capacity=self.pipe_capacity, hub=self.wake_hub)
             self.pipes[name] = pipe
         return pipe
+
+    def advance_sequencer(self, resource, value: int) -> None:
+        """Set a replication sequencer and wake interpreters parked on it."""
+        self.sequencers[resource] = value
+        self.wake_hub.notify(("seq", resource))
 
     def region(self, name: str) -> list[int]:
         region = self.regions.get(name)

@@ -108,3 +108,21 @@ def test_multi_pps_requires_selection(tmp_path):
     """)
     with pytest.raises(SystemExit, match="--pps"):
         main(["pipeline", str(path), "-d", "2"])
+
+
+def test_bench_writes_report(tmp_path, capsys):
+    output = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--packets", "8", "--no-reference",
+                 "-o", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "figure19" in out
+    assert str(output) in out
+
+    import json
+
+    report = json.loads(output.read_text())
+    assert report["config"]["packets"] == 8
+    assert report["config"]["degrees"] == [1, 2, 3, 4]
+    assert report["figures"]["figure19"]["simulated_instructions"] > 0
+    # --no-reference skips the before/after comparison run.
+    assert "speedup_vs_reference" not in report["figures"]["figure19"]
