@@ -40,6 +40,7 @@ from repro.ir.optimize import optimize_module
 from repro.lang import compile_source
 from repro.machine.costs import NN_RING, SCRATCH_RING, SRAM_RING, CostModel
 from repro.machine.ixp import IXP2400, IXP2800, NetworkProcessor
+from repro.obs import RuntimeReport, Tracer, runtime_report, tracing
 from repro.pipeline.liveset import Strategy
 from repro.pipeline.replicate import ReplicationResult, replicate_pps
 from repro.pipeline.transform import PipelineError, PipelineResult, pipeline_pps
@@ -77,9 +78,11 @@ __all__ = [
     "PipelineError",
     "PipelineResult",
     "ReplicationResult",
+    "RuntimeReport",
     "SCRATCH_RING",
     "SRAM_RING",
     "Strategy",
+    "Tracer",
     "__version__",
     "assert_equivalent",
     "compare",
@@ -95,4 +98,6 @@ __all__ = [
     "run_pipeline",
     "run_replicas",
     "run_sequential",
+    "runtime_report",
+    "tracing",
 ]

@@ -30,6 +30,7 @@ from repro.analysis.memdep import Access, accesses_of, conflicts
 from repro.ir.function import Function
 from repro.ir.instructions import Phi
 from repro.ir.values import VReg
+from repro.obs import tracer as obs
 
 
 class DepKind(enum.Enum):
@@ -81,6 +82,11 @@ class LoopDependenceModel:
         self._reach: dict[int, set[int]] = {}
         self._build()
         self.units = self._condense_units()
+        obs.instant("dependence_model", cat="compile",
+                    function=ssa.name, nodes=len(self.sgraph),
+                    dep_edges=len(self.edges),
+                    variables=len(self.variables),
+                    units=len(self.units.members))
 
     # -- helpers -----------------------------------------------------------
 

@@ -7,10 +7,16 @@ Usage (also via ``python -m repro``)::
     repro pipeline file.ppc --pps NAME -d 4  # partition; print stage map
     repro run file.ppc --pps NAME -d 4 \\
         --feed in_q=1,2,3 --iterations 3     # execute on the simulator
+    repro run ... --profile                  # + runtime counter report
+    repro trace file.ppc --pps NAME -d 4 \\
+        -o trace.json                        # Chrome-trace of compile + run
     repro figures [--packets 60]             # regenerate the paper figures
     repro bench [--quick] [-o FILE]          # performance regression harness
 
 PPS-C files conventionally use the ``.ppc`` extension.
+
+Exit codes: 0 success, 1 compile/pipeline/IO failure, 2 usage error
+(unknown PPS, malformed ``--feed``, ...).
 """
 
 from __future__ import annotations
@@ -38,6 +44,10 @@ _COST_MODELS = {
 }
 
 
+class CLIError(Exception):
+    """A usage error (bad flag value, unknown PPS): exit code 2."""
+
+
 def _load_module(path: str, *, optimize: bool = True) -> Module:
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
@@ -51,26 +61,25 @@ def _load_module(path: str, *, optimize: bool = True) -> Module:
 def _resolve_pps(module: Module, name: str | None) -> str:
     if name is not None:
         if name not in module.ppses:
-            raise SystemExit(f"error: no pps named {name!r} "
-                             f"(available: {', '.join(module.ppses)})")
+            raise CLIError(f"no pps named {name!r} "
+                           f"(available: {', '.join(module.ppses)})")
         return name
     if len(module.ppses) == 1:
         return next(iter(module.ppses))
-    raise SystemExit(f"error: choose one of the PPSes with --pps: "
-                     f"{', '.join(module.ppses)}")
+    raise CLIError(f"choose one of the PPSes with --pps: "
+                   f"{', '.join(module.ppses)}")
 
 
 def _parse_feed(specs: list[str]) -> dict[str, list[int]]:
     feeds: dict[str, list[int]] = {}
     for spec in specs:
         if "=" not in spec:
-            raise SystemExit(f"error: --feed expects pipe=v1,v2,... "
-                             f"(got {spec!r})")
+            raise CLIError(f"--feed expects pipe=v1,v2,... (got {spec!r})")
         pipe, _, values = spec.partition("=")
         try:
             feeds[pipe] = [int(v, 0) for v in values.split(",") if v]
         except ValueError as exc:
-            raise SystemExit(f"error: bad feed value in {spec!r}: {exc}")
+            raise CLIError(f"bad feed value in {spec!r}: {exc}") from exc
     return feeds
 
 
@@ -152,14 +161,53 @@ def cmd_run(args) -> int:
         print(f"pipelined x{args.degree}: longest stage {longest} "
               f"weighted instructions; observationally equivalent ✔")
         state = pipelined
+        run_stats = run.stats
     else:
         state = sequential
+        run_stats = {pps_name: stats}
 
     for name, pipe in sorted(state.pipes.items()):
         if pipe.queue and ".xfer" not in name:
             print(f"pipe {name}: {list(pipe.queue)}")
     for tag, events in sorted(state.traces.items()):
         print(f"trace[{tag}]: {events}")
+    if args.profile:
+        from repro.obs import runtime_report
+
+        print(runtime_report(run_stats, state).render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import Tracer, emit_counter_events, runtime_report, tracing
+
+    tracer = Tracer()
+    with tracing(tracer):
+        module = _load_module(args.file)
+        pps_name = _resolve_pps(module, args.pps)
+        feeds = _parse_feed(args.feed or [])
+        state = MachineState(module)
+        for pipe, values in feeds.items():
+            state.feed_pipe(pipe, values)
+        if args.degree > 1:
+            result = pipeline_pps(module, pps_name, args.degree)
+            run = run_pipeline(result.stages, state,
+                               iterations=args.iterations)
+            run_stats = run.stats
+        else:
+            stats = run_sequential(module.pps(pps_name), state,
+                                   iterations=args.iterations)
+            run_stats = {pps_name: stats}
+        report = runtime_report(run_stats, state)
+        emit_counter_events(tracer, report)
+    tracer.write(args.output)
+    spans = sum(1 for e in tracer.events if e.get("ph") == "X")
+    instants = sum(1 for e in tracer.events if e.get("ph") == "i")
+    counters = sum(1 for e in tracer.events if e.get("ph") == "C")
+    print(f"{pps_name}: traced compile + run at degree {args.degree}")
+    print(f"  {spans} spans, {instants} instants, {counters} counter samples")
+    print(report.render())
+    print(f"wrote {args.output} (load in chrome://tracing or Perfetto)")
     return 0
 
 
@@ -263,7 +311,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--iterations", type=int, default=10)
     p_run.add_argument("--feed", action="append",
                        help="pipe=v1,v2,... (repeatable)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="print per-stage/per-pipe runtime counters")
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="emit a Chrome-trace JSON of compile + run")
+    p_trace.add_argument("file")
+    p_trace.add_argument("--pps")
+    p_trace.add_argument("-d", "--degree", type=int, default=2)
+    p_trace.add_argument("--iterations", type=int, default=10)
+    p_trace.add_argument("--feed", action="append",
+                         help="pipe=v1,v2,... (repeatable)")
+    p_trace.add_argument("-o", "--output", default="trace.json")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
     p_fig.add_argument("--packets", type=int, default=60)
@@ -287,6 +348,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except FrontendError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -265,6 +265,7 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
 
     from repro.apps.suite import build_app
     from repro.eval.experiments import FIGURE19_APPS, FIGURE20_APPS
+    from repro.obs import PhaseTimer
     from repro.runtime.compile import clear_cache, compile_function
     from repro.runtime.mode import reference_mode
 
@@ -272,37 +273,38 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
     figure_apps = {"figure19": list(FIGURE19_APPS),
                    "figure20": list(FIGURE20_APPS)}
 
-    t0 = perf_counter()
-    apps = {}
-    for names in figure_apps.values():
-        for name in names:
-            if name not in apps:
-                apps[name] = build_app(name, packets=packets, seed=seed)
-    build_seconds = perf_counter() - t0
+    # Phase wall clocks; each phase also shows up as a span when the bench
+    # runs under an active repro.obs tracer.
+    phases = PhaseTimer()
 
-    t0 = perf_counter()
-    transforms = {}
-    for name, app in apps.items():
-        profiler = make_profiler(app)
-        for degree in degrees:
-            if degree > 1:
-                transforms[name, degree] = pipeline_pps(
-                    app.module, app.pps_name, degree,
-                    costs=NN_RING, strategy=Strategy.PACKED,
-                    epsilon=1.0 / 16.0, incremental=True,
-                    interference="exact", profiler=profiler)
-    partition_seconds = perf_counter() - t0
+    with phases.phase("build", packets=packets):
+        apps = {}
+        for names in figure_apps.values():
+            for name in names:
+                if name not in apps:
+                    apps[name] = build_app(name, packets=packets, seed=seed)
+
+    with phases.phase("partition", degrees=len(degrees)):
+        transforms = {}
+        for name, app in apps.items():
+            profiler = make_profiler(app)
+            for degree in degrees:
+                if degree > 1:
+                    transforms[name, degree] = pipeline_pps(
+                        app.module, app.pps_name, degree,
+                        costs=NN_RING, strategy=Strategy.PACKED,
+                        epsilon=1.0 / 16.0, incremental=True,
+                        interference="exact", profiler=profiler)
 
     # Threaded-code compilation, measured cold (it is otherwise amortized
     # into the first simulation of each function).
     clear_cache()
-    t0 = perf_counter()
-    for app in apps.values():
-        compile_function(app.module.pps(app.pps_name))
-    for transform in transforms.values():
-        for stage in transform.stages:
-            compile_function(stage.function)
-    compile_seconds = perf_counter() - t0
+    with phases.phase("compile"):
+        for app in apps.values():
+            compile_function(app.module.pps(app.pps_name))
+        for transform in transforms.values():
+            for stage in transform.stages:
+                compile_function(stage.function)
 
     def sweep(names: list[str], reference: bool, repeats: int = 3):
         instructions = 0
@@ -342,7 +344,8 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
 
     figures: dict[str, dict] = {}
     for figure, names in figure_apps.items():
-        wall, instructions, series = sweep(names, False)
+        with phases.phase(f"simulate:{figure}", apps=len(names)):
+            wall, instructions, series = sweep(names, False)
         entry = {
             "apps": names,
             "wall_seconds": round(wall, 4),
@@ -352,7 +355,8 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
             "speedup_by_degree": series,
         }
         if measure_reference and figure == "figure19":
-            ref_wall, _, _ = sweep(names, True)
+            with phases.phase("simulate:reference", apps=len(names)):
+                ref_wall, _, _ = sweep(names, True)
             entry["reference_wall_seconds"] = round(ref_wall, 4)
             entry["speedup_vs_reference"] = (round(ref_wall / wall, 2)
                                              if wall else None)
@@ -372,9 +376,11 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
             "degrees": degrees,
             "python": sys.version.split()[0],
         },
-        "build_seconds": round(build_seconds, 4),
-        "partition_seconds": round(partition_seconds, 4),
-        "compile_seconds": round(compile_seconds, 4),
+        "build_seconds": round(phases["build"], 4),
+        "partition_seconds": round(phases["partition"], 4),
+        "compile_seconds": round(phases["compile"], 4),
+        "phase_seconds": {name: round(value, 4)
+                          for name, value in sorted(phases.seconds.items())},
         "figures": figures,
         f"headline_speedup_degree{top}": headline,
     }

@@ -28,6 +28,7 @@ from typing import Hashable
 
 from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
 from repro.flownet.push_relabel import PushRelabel
+from repro.obs import tracer as obs
 
 #: Capacity at or above this threshold is treated as uncuttable when
 #: preflighting collapse feasibility.
@@ -162,12 +163,20 @@ class BalancedCut:
                         - solver.min_cut_sink_side())
             min_weight = side_weight(min_side)
             max_weight = side_weight(max_side)
+            accepted = False
             for side, weight in ((min_side, min_weight),
                                  (max_side, max_weight)):
                 candidate = as_result(side, cut_value, weight, iterations)
                 if best is None or self._better(candidate, best, target_weight):
                     best = candidate
+                    accepted = True
             balanced_now = (low <= min_weight <= high) or (low <= max_weight <= high)
+            obs.instant("cut_iteration", cat="flownet",
+                        iteration=iterations, epsilon=self.epsilon,
+                        cut_value=cut_value, target=round(target_weight, 1),
+                        min_weight=min_weight, max_weight=max_weight,
+                        source_side=len(min_side), balanced=balanced_now,
+                        accepted=accepted)
             if balanced_now and not self._dims:
                 break  # FBB stops at the first balanced minimum cut
             if self._dims and min_weight > high and best is not None \

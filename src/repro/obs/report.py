@@ -1,0 +1,148 @@
+"""Structured runtime counter reports.
+
+After a scheduler run, :func:`runtime_report` assembles the counters the
+execution core already maintains — per-interpreter
+:class:`~repro.runtime.interp.InterpStats`, the per-pipe send/recv/depth
+tallies on :class:`~repro.runtime.state.Pipe`, and the park/notify/wake
+tallies on :class:`~repro.runtime.state.WakeHub` — into one structured,
+JSON-serializable report.  Nothing here touches the hot loops: the report
+is a pure read-out, which is how tracing stays free when disabled.
+
+``repro run --profile`` renders the report as text; ``repro trace``
+additionally folds it into the Chrome trace as counter events
+(:func:`emit_counter_events`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import TID_RUNTIME, Tracer
+from repro.runtime.state import MachineState
+
+
+@dataclass
+class StageCounters:
+    """Execution totals of one interpreter (PPS or pipeline stage)."""
+
+    name: str
+    instructions: int
+    weight: int                  # machine-model cycles
+    iterations: int
+    transmission_weight: int
+    blocked: int
+
+
+@dataclass
+class PipeCounters:
+    """Traffic totals of one pipe."""
+
+    name: str
+    sent: int
+    received: int
+    high_water: int              # depth high-water mark
+    residual: int                # messages left after the run
+
+
+@dataclass
+class RuntimeReport:
+    """Per-stage / per-pipe / scheduler counters of one run."""
+
+    stages: list[StageCounters] = field(default_factory=list)
+    pipes: list[PipeCounters] = field(default_factory=list)
+    wake_parks: int = 0
+    wake_notifies: int = 0
+    wake_wakes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "stages": [vars(stage).copy() for stage in self.stages],
+            "pipes": [vars(pipe).copy() for pipe in self.pipes],
+            "wake_hub": {
+                "parks": self.wake_parks,
+                "notifies": self.wake_notifies,
+                "wakes": self.wake_wakes,
+            },
+        }
+
+    def render(self) -> str:
+        """Text rendering for ``repro run --profile``."""
+        lines = ["runtime profile:"]
+        if self.stages:
+            lines.append("  stage                        instrs   cycles "
+                         "  iters  tx-cycles  blocked")
+            for stage in self.stages:
+                lines.append(
+                    f"  {stage.name:26s} {stage.instructions:8d} "
+                    f"{stage.weight:8d} {stage.iterations:7d} "
+                    f"{stage.transmission_weight:10d} {stage.blocked:8d}")
+        if self.pipes:
+            lines.append("  pipe                           sent recvd "
+                         "high-water residual")
+            for pipe in self.pipes:
+                lines.append(
+                    f"  {pipe.name:28s} {pipe.sent:6d} {pipe.received:5d} "
+                    f"{pipe.high_water:10d} {pipe.residual:8d}")
+        lines.append(f"  wake-hub: {self.wake_parks} parks, "
+                     f"{self.wake_notifies} notifies, "
+                     f"{self.wake_wakes} wakes")
+        return "\n".join(lines)
+
+
+def runtime_report(stats: dict, state: MachineState) -> RuntimeReport:
+    """Assemble the report for one finished run.
+
+    ``stats`` maps interpreter name -> ``InterpStats`` (e.g.
+    ``RunResult.stats``); ``state`` is the machine the run executed on.
+    """
+    report = RuntimeReport()
+    for name in sorted(stats):
+        entry = stats[name]
+        report.stages.append(StageCounters(
+            name=name,
+            instructions=entry.instructions,
+            weight=entry.weight,
+            iterations=entry.iterations,
+            transmission_weight=entry.transmission_weight,
+            blocked=entry.blocked,
+        ))
+    for name in sorted(state.pipes):
+        pipe = state.pipes[name]
+        if not (pipe.sent or pipe.received or pipe.queue):
+            continue  # never touched: noise in wide modules
+        report.pipes.append(PipeCounters(
+            name=name,
+            sent=pipe.sent,
+            received=pipe.received,
+            high_water=pipe.high_water,
+            residual=len(pipe.queue),
+        ))
+    hub = state.wake_hub
+    report.wake_parks = hub.parks
+    report.wake_notifies = hub.notifies
+    report.wake_wakes = hub.wakes
+    return report
+
+
+def emit_counter_events(tracer: Tracer, report: RuntimeReport) -> None:
+    """Fold a runtime report into a trace as ``"C"`` counter events."""
+    for stage in report.stages:
+        tracer.counter(f"stage {stage.name}", {
+            "instructions": stage.instructions,
+            "cycles": stage.weight,
+            "iterations": stage.iterations,
+            "tx_cycles": stage.transmission_weight,
+            "blocked": stage.blocked,
+        }, cat="stage", tid=TID_RUNTIME)
+    for pipe in report.pipes:
+        tracer.counter(f"pipe {pipe.name}", {
+            "sent": pipe.sent,
+            "received": pipe.received,
+            "high_water": pipe.high_water,
+            "residual": pipe.residual,
+        }, cat="pipe", tid=TID_RUNTIME)
+    tracer.counter("wake_hub", {
+        "parks": report.wake_parks,
+        "notifies": report.wake_notifies,
+        "wakes": report.wake_wakes,
+    }, cat="scheduler", tid=TID_RUNTIME)

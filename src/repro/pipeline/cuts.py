@@ -17,6 +17,7 @@ from repro.analysis.dependence_graph import LoopDependenceModel
 from repro.flownet.balanced_cut import BalancedCut, BalancedCutResult
 from repro.flownet.model import build_cut_network
 from repro.machine.costs import NN_RING, CostModel
+from repro.obs import tracer as obs
 
 
 @dataclass
@@ -104,7 +105,9 @@ def select_stages(model: LoopDependenceModel, degree: int, *,
         remaining_weight = sum(model.unit_weight(unit) for unit in remaining)
         stages_left = degree - stage + 1
         target = remaining_weight / stages_left
-        cut_net = build_cut_network(model, remaining, placed, costs)
+        with obs.span("flow_network", cat="compile", stage=stage,
+                      units=len(remaining)):
+            cut_net = build_cut_network(model, remaining, placed, costs)
         finder = BalancedCut(
             epsilon=epsilon, incremental=incremental,
             forceable=lambda key: isinstance(key, tuple) and key
@@ -122,8 +125,10 @@ def select_stages(model: LoopDependenceModel, degree: int, *,
                 for index, value in enumerate(vector):
                     totals[index] += value
             dim_targets = tuple(value / stages_left for value in totals)
-        result = finder.find(cut_net.network, target, dims=dims,
-                             dim_targets=dim_targets)
+        with obs.span("balanced_cut", cat="compile", stage=stage,
+                      target=round(target, 1), epsilon=epsilon):
+            result = finder.find(cut_net.network, target, dims=dims,
+                                 dim_targets=dim_targets)
         chosen = cut_net.units_of_cut(result.source_side) & remaining
         if not chosen and len(remaining) > 1:
             # Give the stage the lightest dependence-source unit so the
@@ -137,14 +142,19 @@ def select_stages(model: LoopDependenceModel, degree: int, *,
             assignment.unit_stage[unit] = stage
         placed |= chosen
         remaining -= chosen
-        assignment.diagnostics.append(CutDiagnostics(
+        diag = CutDiagnostics(
             stage=stage,
             target=target,
             weight=sum(model.unit_weight(unit) for unit in chosen),
             cut_value=result.cut_value,
             balanced=result.balanced,
             iterations=result.iterations,
-        ))
+        )
+        assignment.diagnostics.append(diag)
+        obs.instant("cut_selected", cat="compile", stage=stage,
+                    target=round(target, 1), weight=diag.weight,
+                    cut_value=diag.cut_value, balanced=diag.balanced,
+                    iterations=diag.iterations, units=len(chosen))
         if not remaining:
             break
 

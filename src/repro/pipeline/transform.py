@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.analysis.cfg import PpsLoop, find_pps_loop, split_large_blocks
 from repro.analysis.dependence_graph import LoopDependenceModel
 from repro.lang.intrinsics import Effect, get_intrinsic
+from repro.obs import tracer as obs
 from repro.ir.clone import clone_function
 from repro.ir.function import Function, Module
 from repro.ir.instructions import Call
@@ -85,30 +86,51 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
     source = module.pps(pps_name)
     _check_inlined(source)
 
-    work = clone_function(source)
-    if max_block_instructions > 0:
-        split_large_blocks(work, max_block_instructions)
-    loop = find_pps_loop(work)
-    _check_prologue(work, loop)
+    with obs.span("pipeline_pps", cat="compile", pps=pps_name, degree=degree):
+        with obs.span("normalize", cat="compile", pps=pps_name):
+            work = clone_function(source)
+            if max_block_instructions > 0:
+                split_large_blocks(work, max_block_instructions)
+            loop = find_pps_loop(work)
+            _check_prologue(work, loop)
 
-    ssa = clone_function(work)
-    construct_ssa(ssa)
-    ssa_loop = find_pps_loop(ssa)
-    model = LoopDependenceModel(ssa, ssa_loop)
+        with obs.span("ssa_construct", cat="compile", pps=pps_name):
+            ssa = clone_function(work)
+            construct_ssa(ssa)
+            ssa_loop = find_pps_loop(ssa)
+        with obs.span("dependence_graph", cat="compile", pps=pps_name):
+            model = LoopDependenceModel(ssa, ssa_loop)
 
-    profiles = profiler(work) if profiler is not None else None
-    if cut_strategy is not None:
-        assignment = cut_strategy(model, degree)
-    else:
-        assignment = select_stages(model, degree, costs=costs,
-                                   epsilon=epsilon, incremental=incremental,
-                                   profiles=profiles)
-    layouts = compute_cut_layouts(work, loop.body, assignment.block_stage,
-                                  degree, interference=interference)
-    stages = realize_stages(work, loop, assignment, layouts, module, costs,
-                            strategy, pps_name)
-    for stage in stages:
-        verify_function(stage.function)
+        if profiler is not None:
+            with obs.span("profile", cat="compile", pps=pps_name):
+                profiles = profiler(work)
+        else:
+            profiles = None
+        with obs.span("select_stages", cat="compile", pps=pps_name,
+                      degree=degree):
+            if cut_strategy is not None:
+                assignment = cut_strategy(model, degree)
+            else:
+                assignment = select_stages(model, degree, costs=costs,
+                                           epsilon=epsilon,
+                                           incremental=incremental,
+                                           profiles=profiles)
+        with obs.span("liveset_layout", cat="compile", pps=pps_name):
+            layouts = compute_cut_layouts(work, loop.body,
+                                          assignment.block_stage,
+                                          degree, interference=interference)
+        for layout in layouts:
+            obs.instant("cut_layout", cat="compile",
+                        cut=layout.cut_index,
+                        live_values=len(layout.variables),
+                        words=layout.words(strategy),
+                        targets=len(layout.targets))
+        with obs.span("realize", cat="compile", pps=pps_name):
+            stages = realize_stages(work, loop, assignment, layouts, module,
+                                    costs, strategy, pps_name)
+        with obs.span("verify", cat="compile", pps=pps_name):
+            for stage in stages:
+                verify_function(stage.function)
     return PipelineResult(
         pps_name=pps_name,
         degree=degree,

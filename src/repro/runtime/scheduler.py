@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.ir.function import Function
+from repro.obs import tracer as obs
 from repro.runtime import mode
 from repro.runtime.interp import Interpreter, InterpStats
 from repro.runtime.state import MachineState, RuntimeError_
@@ -47,9 +48,12 @@ def run_group(interpreters: dict[str, Interpreter], *,
     """Run interpreters together until everyone finishes or blocks."""
     if event_driven is None:
         event_driven = not mode.reference_active()
-    if event_driven:
-        return _run_group_event(interpreters, max_rounds=max_rounds)
-    return _run_group_polling(interpreters, max_rounds=max_rounds)
+    with obs.span("run_group", cat="runtime", tid=obs.TID_RUNTIME,
+                  interpreters=sorted(interpreters),
+                  event_driven=event_driven):
+        if event_driven:
+            return _run_group_event(interpreters, max_rounds=max_rounds)
+        return _run_group_polling(interpreters, max_rounds=max_rounds)
 
 
 def _run_group_event(interpreters: dict[str, Interpreter], *,

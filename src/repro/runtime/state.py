@@ -25,13 +25,20 @@ class WakeHub:
     token back to the scheduler's ready queue.  With no scheduler attached
     (sequential host-side use) notifications are dropped — nobody can be
     parked.
+
+    ``parks`` / ``notifies`` / ``wakes`` tally the hub's activity for the
+    runtime profile (``repro run --profile``, ``repro trace``); they only
+    tick on blocking events, never on the per-instruction path.
     """
 
-    __slots__ = ("_waiters", "_on_wake")
+    __slots__ = ("_waiters", "_on_wake", "parks", "notifies", "wakes")
 
     def __init__(self):
         self._waiters: dict[tuple, list] = {}
         self._on_wake = None
+        self.parks = 0
+        self.notifies = 0
+        self.wakes = 0
 
     def attach(self, on_wake) -> None:
         """Install the scheduler's wake callback (token -> None)."""
@@ -43,14 +50,17 @@ class WakeHub:
 
     def park(self, key: tuple, token) -> None:
         """Record ``token`` as waiting for ``key`` to be notified."""
+        self.parks += 1
         self._waiters.setdefault(key, []).append(token)
 
     def notify(self, key: tuple) -> None:
         """Wake every token parked on ``key``."""
         if not self._waiters:
             return
+        self.notifies += 1
         tokens = self._waiters.pop(key, None)
         if tokens and self._on_wake is not None:
+            self.wakes += len(tokens)
             for token in tokens:
                 self._on_wake(token)
 
@@ -61,18 +71,30 @@ class Pipe:
 
     ``send``/``recv`` notify the machine's :class:`WakeHub` so interpreters
     parked on the pipe resume exactly when it becomes ready.
+
+    ``sent`` / ``received`` / ``high_water`` (the depth high-water mark)
+    feed the runtime profile; they tick per *message*, which is orders of
+    magnitude rarer than per instruction, so the counters stay on
+    unconditionally.
     """
 
     name: str
     capacity: int = 0  # 0 = unbounded
     queue: deque = field(default_factory=deque)
     hub: WakeHub | None = None
+    sent: int = 0
+    received: int = 0
+    high_water: int = 0
 
     def can_send(self) -> bool:
         return self.capacity <= 0 or len(self.queue) < self.capacity
 
     def send(self, message) -> None:
-        self.queue.append(message)
+        queue = self.queue
+        queue.append(message)
+        self.sent += 1
+        if len(queue) > self.high_water:
+            self.high_water = len(queue)
         if self.hub is not None:
             self.hub.notify(("recv", self.name))
 
@@ -81,6 +103,7 @@ class Pipe:
 
     def recv(self):
         message = self.queue.popleft()
+        self.received += 1
         if self.capacity > 0 and self.hub is not None:
             self.hub.notify(("send", self.name))
         return message

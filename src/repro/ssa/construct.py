@@ -20,6 +20,7 @@ from repro.analysis.liveness import Liveness
 from repro.ir.function import Function
 from repro.ir.instructions import Phi
 from repro.ir.values import Const, Value, VReg
+from repro.obs import tracer as obs
 
 
 def construct_ssa(function: Function) -> None:
@@ -128,6 +129,10 @@ def construct_ssa(function: Function) -> None:
     finally:
         sys.setrecursionlimit(old_limit)
     function.params = new_params
+    obs.instant("ssa_constructed", cat="compile", function=function.name,
+                blocks=len(function.blocks),
+                phis=sum(len(pending) for pending in pending_phis.values()),
+                versions=sum(counters.values()))
 
     # Drop φs whose block became unreachable artifacts (none expected), and
     # normalize instruction order (φs first) — placement already ensures it.

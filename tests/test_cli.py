@@ -90,24 +90,31 @@ def test_run_pipelined_checks_equivalence(demo_file, capsys):
 
 
 def test_bad_feed_spec(demo_file, capsys):
-    with pytest.raises(SystemExit):
-        main(["run", demo_file, "--feed", "garbage"])
+    assert main(["run", demo_file, "--feed", "garbage"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "garbage" in err
 
 
-def test_unknown_pps_rejected(demo_file):
-    with pytest.raises(SystemExit):
-        main(["ir", demo_file, "--pps", "nope"])
+def test_unknown_pps_rejected(demo_file, capsys):
+    assert main(["ir", demo_file, "--pps", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "no pps named 'nope'" in err
+    assert "demo" in err  # lists the available PPSes
 
 
-def test_multi_pps_requires_selection(tmp_path):
+def test_multi_pps_requires_selection(tmp_path, capsys):
     path = tmp_path / "two.ppc"
     path.write_text("""
         pipe q;
         pps a { for (;;) { pipe_send(q, 1); } }
         pps b { for (;;) { int v = pipe_recv(q); trace(1, v); } }
     """)
-    with pytest.raises(SystemExit, match="--pps"):
-        main(["pipeline", str(path), "-d", "2"])
+    assert main(["pipeline", str(path), "-d", "2"]) == 2
+    err = capsys.readouterr().err
+    assert "--pps" in err
+    assert "a" in err and "b" in err
 
 
 def test_bench_writes_report(tmp_path, capsys):
