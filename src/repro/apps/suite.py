@@ -109,11 +109,28 @@ class AppInstance:
     #: Traffic-class setups for profile-dimensioned balancing (multi-path
     #: PPSes like the IP PPS provide one per code path).
     profile_setups: list = field(repr=False, default=None)
+    #: Chaos-harness split of ``setup``: ``stream()`` returns the input
+    #: packet list, ``feed(state, stream)`` loads tables and feeds an
+    #: (optionally perturbed) stream.  Only stream-driven PPSes provide
+    #: them; ``setup`` stays the single-call path everywhere else.
+    stream: Callable[[], list] = field(repr=False, default=None)
+    feed: Callable[[MachineState, list], int] = field(repr=False,
+                                                      default=None)
 
     def fresh_state(self, **kwargs) -> tuple[MachineState, int]:
         """A populated machine state and the iteration budget for stage 1."""
         state = MachineState(self.module, **kwargs)
         iterations = self.setup(state)
+        return state, iterations
+
+    def fresh_state_with_stream(self, stream: list,
+                                **kwargs) -> tuple[MachineState, int]:
+        """Like :meth:`fresh_state` but feeding a caller-supplied (e.g.
+        fault-perturbed) packet stream; requires ``feed``."""
+        if self.feed is None:
+            raise ValueError(f"app {self.name!r} has no stream/feed split")
+        state = MachineState(self.module, **kwargs)
+        iterations = self.feed(state, stream)
         return state, iterations
 
 
@@ -173,40 +190,57 @@ def build_app(name: str, *, packets: int = 200, seed: int = 7) -> AppInstance:
         source = rx_source()
         module = _compile(source)
 
-        def setup(state: MachineState) -> int:
-            stream = _traffic(packets, seed).ipv4_stream()
+        def stream() -> list:
+            return _traffic(packets, seed).ipv4_stream()
+
+        def feed(state: MachineState, stream: list) -> int:
             for data in stream:
                 state.devices.feed_packet(0, data)
             return len(stream)
 
+        def setup(state: MachineState) -> int:
+            return feed(state, stream())
+
         return AppInstance(name, "rx", source, module, setup,
-                           "packet receive / reassembly")
+                           "packet receive / reassembly",
+                           stream=stream, feed=feed)
 
     if name == "ipv4":
         source = ipv4_source()
         module = _compile(source)
 
-        def setup(state: MachineState) -> int:
+        def stream() -> list:
+            return _traffic(packets, seed).ipv4_stream()
+
+        def feed(state: MachineState, stream: list) -> int:
             _load_common_tables(state)
-            stream = _traffic(packets, seed).ipv4_stream()
             _adopt_stream(state, stream, "ipv4_in")
             return len(stream)
 
+        def setup(state: MachineState) -> int:
+            return feed(state, stream())
+
         return AppInstance(name, "ipv4", source, module, setup,
-                           "IPv4 forwarding (NPF IPv4 benchmark)")
+                           "IPv4 forwarding (NPF IPv4 benchmark)",
+                           stream=stream, feed=feed)
 
     if name in ("ip_v4", "ip_v6"):
         source = ip_source()
         module = _compile(source)
         use_v6 = name.endswith("v6")
 
-        def setup(state: MachineState) -> int:
-            _load_common_tables(state)
+        def stream() -> list:
             generator = _traffic(packets, seed)
-            stream = (generator.ipv6_stream() if use_v6
-                      else generator.ipv4_stream())
+            return (generator.ipv6_stream() if use_v6
+                    else generator.ipv4_stream())
+
+        def feed(state: MachineState, stream: list) -> int:
+            _load_common_tables(state)
             _adopt_stream(state, stream, "ip_in")
             return len(stream)
+
+        def setup(state: MachineState) -> int:
+            return feed(state, stream())
 
         def setup_v4(state: MachineState) -> int:
             _load_common_tables(state)
@@ -223,7 +257,8 @@ def build_app(name: str, *, packets: int = 200, seed: int = 7) -> AppInstance:
         traffic_kind = "IPv6" if use_v6 else "IPv4"
         return AppInstance(name, "ip", source, module, setup,
                            f"IP forwarding, {traffic_kind} traffic",
-                           profile_setups=[setup_v4, setup_v6])
+                           profile_setups=[setup_v4, setup_v6],
+                           stream=stream, feed=feed)
 
     if name == "scheduler":
         source = scheduler_source()

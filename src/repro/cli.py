@@ -8,15 +8,20 @@ Usage (also via ``python -m repro``)::
     repro run file.ppc --pps NAME -d 4 \\
         --feed in_q=1,2,3 --iterations 3     # execute on the simulator
     repro run ... --profile                  # + runtime counter report
+    repro run ... --faults plan.json \\
+        --watchdog-quantum 200000 \\
+        --isolate-traps                      # chaos-hardened execution
     repro trace file.ppc --pps NAME -d 4 \\
         -o trace.json                        # Chrome-trace of compile + run
+    repro chaos [--app ipv4] [--plans ...]   # chaos differential check
     repro figures [--packets 60]             # regenerate the paper figures
     repro bench [--quick] [-o FILE]          # performance regression harness
 
 PPS-C files conventionally use the ``.ppc`` extension.
 
-Exit codes: 0 success, 1 compile/pipeline/IO failure, 2 usage error
-(unknown PPS, malformed ``--feed``, ...).
+Exit codes (see :mod:`repro.errors`): 0 success, 1 compile/pipeline/IO
+failure, 2 usage error (unknown PPS, malformed ``--feed`` or fault
+plan), 3 runtime failure (interpreter trap, deadlock/livelock).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import DeadlockError, FaultPlanError, ReproError, TrapError
 from repro.ir.function import Module
 from repro.ir.inline import inline_module
 from repro.ir.lowering import lower_program
@@ -44,7 +50,7 @@ _COST_MODELS = {
 }
 
 
-class CLIError(Exception):
+class CLIError(ReproError):
     """A usage error (bad flag value, unknown PPS): exit code 2."""
 
 
@@ -81,6 +87,25 @@ def _parse_feed(specs: list[str]) -> dict[str, list[int]]:
         except ValueError as exc:
             raise CLIError(f"bad feed value in {spec!r}: {exc}") from exc
     return feeds
+
+
+def _load_fault_plan(spec: str):
+    """Resolve ``--faults``: a builtin plan name or a JSON file path."""
+    from repro.runtime.faults import FaultPlan, builtin_plans
+
+    plans = builtin_plans()
+    if spec in plans:
+        return plans[spec]
+    return FaultPlan.load(spec)
+
+
+def _write_dead_letters(path: str, state) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([letter.as_dict() for letter in state.dead_letters],
+                  handle, indent=2)
+        handle.write("\n")
 
 
 # -- subcommands ------------------------------------------------------------
@@ -139,27 +164,60 @@ def cmd_run(args) -> int:
     pps_name = _resolve_pps(module, args.pps)
     feeds = _parse_feed(args.feed or [])
 
+    plan = _load_fault_plan(args.faults) if args.faults else None
+    if plan is not None:
+        # Perturb the host-fed streams ONCE; every run below shares them.
+        from repro.runtime.faults import FaultInjector
+
+        stream_injector = FaultInjector(plan)
+        feeds = {pipe: stream_injector.perturb(pipe, values)
+                 for pipe, values in feeds.items()}
+
     def fresh() -> MachineState:
         state = MachineState(module)
+        if plan is not None:
+            from repro.runtime.faults import FaultInjector
+
+            injector = FaultInjector(plan)
+            injector.arm(state)
+            injector.absorb_stream(stream_injector)
         for pipe, values in feeds.items():
             state.feed_pipe(pipe, values)
         return state
 
+    def watchdog():
+        from repro.runtime.watchdog import Watchdog
+
+        if args.watchdog_quantum is None and plan is None:
+            return None
+        return Watchdog(args.watchdog_quantum)
+
     iterations = args.iterations
     sequential = fresh()
+    seq_watchdog = watchdog()
     stats = run_sequential(module.pps(pps_name), sequential,
-                           iterations=iterations)
+                           iterations=iterations, watchdog=seq_watchdog,
+                           isolate_traps=args.isolate_traps)
     print(f"sequential: {stats.iterations - 1} iterations, "
           f"{stats.weight} weighted instructions")
 
+    run_watchdog = seq_watchdog
     if args.degree > 1:
         result = pipeline_pps(module, pps_name, args.degree)
         pipelined = fresh()
-        run = run_pipeline(result.stages, pipelined, iterations=iterations)
-        assert_equivalent(observe(sequential), observe(pipelined))
+        run_watchdog = watchdog()
+        run = run_pipeline(result.stages, pipelined, iterations=iterations,
+                           watchdog=run_watchdog,
+                           isolate_traps=args.isolate_traps)
         longest = max(s.weight for s in run.stats.values())
-        print(f"pipelined x{args.degree}: longest stage {longest} "
-              f"weighted instructions; observationally equivalent ✔")
+        if plan is None or plan.semantics_preserving():
+            assert_equivalent(observe(sequential), observe(pipelined))
+            print(f"pipelined x{args.degree}: longest stage {longest} "
+                  f"weighted instructions; observationally equivalent ✔")
+        else:
+            print(f"pipelined x{args.degree}: longest stage {longest} "
+                  f"weighted instructions; equivalence skipped "
+                  f"(fault plan is not semantics-preserving)")
         state = pipelined
         run_stats = run.stats
     else:
@@ -171,15 +229,70 @@ def cmd_run(args) -> int:
             print(f"pipe {name}: {list(pipe.queue)}")
     for tag, events in sorted(state.traces.items()):
         print(f"trace[{tag}]: {events}")
+    if state.dead_letters:
+        print(f"dead letters: {len(state.dead_letters)} quarantined "
+              f"iterations")
+        for letter in state.dead_letters:
+            print(f"  {letter.stage} iter {letter.iteration} "
+                  f"block {letter.last_block}: {letter.detail}")
+    if args.dead_letters:
+        _write_dead_letters(args.dead_letters, state)
+        print(f"wrote {args.dead_letters}")
     if args.profile:
         from repro.obs import runtime_report
 
-        print(runtime_report(run_stats, state).render())
+        print(runtime_report(run_stats, state,
+                             watchdog=run_watchdog).render())
     return 0
+
+
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.eval.chaos import chaos_differential
+    from repro.runtime.faults import builtin_plans
+
+    if args.plans:
+        available = builtin_plans()
+        plans = {}
+        for spec in args.plans:
+            plan = (available[spec] if spec in available
+                    else _load_fault_plan(spec))
+            plans[plan.name or spec] = plan
+    else:
+        plans = None
+    try:
+        degrees = tuple(int(d) for d in args.degrees.split(","))
+    except ValueError as exc:
+        raise CLIError(f"bad --degrees {args.degrees!r}: {exc}") from exc
+
+    letters: list = []
+    report = chaos_differential(args.app, plans=plans, degrees=degrees,
+                                packets=args.packets, seed=args.seed,
+                                collect_letters=letters)
+    print(report.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.dead_letters:
+        with open(args.dead_letters, "w", encoding="utf-8") as handle:
+            json.dump(letters, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.dead_letters}")
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args) -> int:
     from repro.obs import Tracer, emit_counter_events, runtime_report, tracing
+
+    plan = _load_fault_plan(args.faults) if args.faults else None
+    watchdog = None
+    if args.watchdog_quantum is not None or plan is not None:
+        from repro.runtime.watchdog import Watchdog
+
+        watchdog = Watchdog(args.watchdog_quantum)
 
     tracer = Tracer()
     with tracing(tracer):
@@ -187,18 +300,31 @@ def cmd_trace(args) -> int:
         pps_name = _resolve_pps(module, args.pps)
         feeds = _parse_feed(args.feed or [])
         state = MachineState(module)
+        if plan is not None:
+            from repro.runtime.faults import FaultInjector
+
+            stream_injector = FaultInjector(plan)
+            feeds = {pipe: stream_injector.perturb(pipe, values)
+                     for pipe, values in feeds.items()}
+            injector = FaultInjector(plan)
+            injector.arm(state)
+            injector.absorb_stream(stream_injector)
         for pipe, values in feeds.items():
             state.feed_pipe(pipe, values)
         if args.degree > 1:
             result = pipeline_pps(module, pps_name, args.degree)
             run = run_pipeline(result.stages, state,
-                               iterations=args.iterations)
+                               iterations=args.iterations,
+                               watchdog=watchdog,
+                               isolate_traps=args.isolate_traps)
             run_stats = run.stats
         else:
             stats = run_sequential(module.pps(pps_name), state,
-                                   iterations=args.iterations)
+                                   iterations=args.iterations,
+                                   watchdog=watchdog,
+                                   isolate_traps=args.isolate_traps)
             run_stats = {pps_name: stats}
-        report = runtime_report(run_stats, state)
+        report = runtime_report(run_stats, state, watchdog=watchdog)
         emit_counter_events(tracer, report)
     tracer.write(args.output)
     spans = sum(1 for e in tracer.events if e.get("ph") == "X")
@@ -313,7 +439,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pipe=v1,v2,... (repeatable)")
     p_run.add_argument("--profile", action="store_true",
                        help="print per-stage/per-pipe runtime counters")
+    p_run.add_argument("--faults", metavar="PLAN",
+                       help="fault-injection plan: builtin name or JSON file")
+    p_run.add_argument("--watchdog-quantum", type=int, default=None,
+                       metavar="N",
+                       help="livelock check every N scheduler steps "
+                            "(enables the deadlock watchdog)")
+    p_run.add_argument("--isolate-traps", action="store_true",
+                       help="quarantine trapped packets instead of aborting")
+    p_run.add_argument("--dead-letters", metavar="FILE",
+                       help="write quarantined-packet records as JSON")
     p_run.set_defaults(func=cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run the chaos differential (faults + pipelining)")
+    p_chaos.add_argument("--app", default="ipv4",
+                         help="benchmark app (default: ipv4)")
+    p_chaos.add_argument("--packets", type=int, default=40)
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument("--degrees", default="1,2,4",
+                         help="comma-separated pipeline degrees")
+    p_chaos.add_argument("--plans", nargs="*",
+                         help="builtin plan names or JSON files "
+                              "(default: all builtin plans)")
+    p_chaos.add_argument("-o", "--output", default=None,
+                         help="write the chaos report as JSON")
+    p_chaos.add_argument("--dead-letters", metavar="FILE",
+                         help="write all dead-letter records as JSON")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_trace = sub.add_parser(
         "trace", help="emit a Chrome-trace JSON of compile + run")
@@ -323,6 +476,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--iterations", type=int, default=10)
     p_trace.add_argument("--feed", action="append",
                          help="pipe=v1,v2,... (repeatable)")
+    p_trace.add_argument("--faults", metavar="PLAN",
+                         help="fault-injection plan: builtin name or "
+                              "JSON file")
+    p_trace.add_argument("--watchdog-quantum", type=int, default=None,
+                         metavar="N",
+                         help="livelock check every N scheduler steps "
+                              "(enables the deadlock watchdog)")
+    p_trace.add_argument("--isolate-traps", action="store_true",
+                         help="quarantine trapped packets instead of "
+                              "aborting")
     p_trace.add_argument("-o", "--output", default="trace.json")
     p_trace.set_defaults(func=cmd_trace)
 
@@ -348,15 +511,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except CLIError as exc:
+    except (CLIError, FaultPlanError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except FrontendError as exc:
+    except (FrontendError, PipelineError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except PipelineError as exc:
+    except DeadlockError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        for name, key in sorted(exc.parked.items()):
+            marker = "!" if name in exc.offenders else " "
+            print(f"  {marker} {name} parked on {key!r}", file=sys.stderr)
+        return 3
+    except TrapError as exc:
+        print(f"error: trap: {exc}", file=sys.stderr)
+        return 3
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ReproError
+
 
 @dataclass(frozen=True)
 class SourceLocation:
@@ -31,7 +33,7 @@ class SourceLocation:
 UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, 0)
 
 
-class FrontendError(Exception):
+class FrontendError(ReproError):
     """Base class for all PPS-C front-end diagnostics."""
 
     def __init__(self, message: str, location: SourceLocation = UNKNOWN_LOCATION):

@@ -53,17 +53,34 @@ class RuntimeReport:
     wake_parks: int = 0
     wake_notifies: int = 0
     wake_wakes: int = 0
+    wake_stranded: int = 0
+    #: Chaos sections — populated only when the corresponding feature ran
+    #: (``faults`` from an armed FaultInjector, ``watchdog`` from a
+    #: Watchdog, ``dead_letters`` from trap isolation); None/empty keeps
+    #: fault-free reports byte-compatible.
+    faults: dict | None = None
+    watchdog: dict | None = None
+    dead_letters: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
-        return {
+        result = {
             "stages": [vars(stage).copy() for stage in self.stages],
             "pipes": [vars(pipe).copy() for pipe in self.pipes],
             "wake_hub": {
                 "parks": self.wake_parks,
                 "notifies": self.wake_notifies,
                 "wakes": self.wake_wakes,
+                "stranded": self.wake_stranded,
             },
         }
+        if self.faults is not None:
+            result["faults"] = dict(self.faults)
+        if self.watchdog is not None:
+            result["watchdog"] = dict(self.watchdog)
+        if self.dead_letters:
+            result["dead_letters"] = [letter.as_dict()
+                                      for letter in self.dead_letters]
+        return result
 
     def render(self) -> str:
         """Text rendering for ``repro run --profile``."""
@@ -85,15 +102,37 @@ class RuntimeReport:
                     f"{pipe.high_water:10d} {pipe.residual:8d}")
         lines.append(f"  wake-hub: {self.wake_parks} parks, "
                      f"{self.wake_notifies} notifies, "
-                     f"{self.wake_wakes} wakes")
+                     f"{self.wake_wakes} wakes, "
+                     f"{self.wake_stranded} stranded")
+        if self.faults is not None:
+            pairs = ", ".join(f"{key}={value}"
+                              for key, value in self.faults.items()
+                              if key not in ("plan", "seed") and value)
+            label = self.faults.get("plan") or "anonymous"
+            lines.append(f"  faults: plan {label} "
+                         f"(seed {self.faults.get('seed')}) "
+                         f"{pairs or 'no events'}")
+        if self.watchdog is not None:
+            lines.append(
+                f"  watchdog: {self.watchdog.get('quiescence_checks', 0)} "
+                f"quiescence checks, "
+                f"{self.watchdog.get('progress_checks', 0)} progress checks")
+        if self.dead_letters:
+            lines.append(f"  dead letters: {len(self.dead_letters)}")
+            for letter in self.dead_letters:
+                lines.append(
+                    f"    {letter.stage} iter {letter.iteration} "
+                    f"block {letter.last_block}: {letter.detail}")
         return "\n".join(lines)
 
 
-def runtime_report(stats: dict, state: MachineState) -> RuntimeReport:
+def runtime_report(stats: dict, state: MachineState, *,
+                   watchdog=None) -> RuntimeReport:
     """Assemble the report for one finished run.
 
     ``stats`` maps interpreter name -> ``InterpStats`` (e.g.
-    ``RunResult.stats``); ``state`` is the machine the run executed on.
+    ``RunResult.stats``); ``state`` is the machine the run executed on;
+    ``watchdog`` optionally contributes its check counters.
     """
     report = RuntimeReport()
     for name in sorted(stats):
@@ -121,6 +160,13 @@ def runtime_report(stats: dict, state: MachineState) -> RuntimeReport:
     report.wake_parks = hub.parks
     report.wake_notifies = hub.notifies
     report.wake_wakes = hub.wakes
+    report.wake_stranded = hub.stranded
+    faults = getattr(state, "faults", None)
+    if faults is not None:
+        report.faults = faults.counters()
+    if watchdog is not None:
+        report.watchdog = watchdog.as_dict()
+    report.dead_letters = list(getattr(state, "dead_letters", ()))
     return report
 
 
@@ -145,4 +191,18 @@ def emit_counter_events(tracer: Tracer, report: RuntimeReport) -> None:
         "parks": report.wake_parks,
         "notifies": report.wake_notifies,
         "wakes": report.wake_wakes,
+        "stranded": report.wake_stranded,
     }, cat="scheduler", tid=TID_RUNTIME)
+    if report.faults is not None:
+        tracer.counter("faults", {
+            key: value for key, value in report.faults.items()
+            if isinstance(value, int) and key != "seed"
+        }, cat="faults", tid=TID_RUNTIME)
+    if report.watchdog is not None:
+        tracer.counter("watchdog", {
+            key: value for key, value in report.watchdog.items()
+            if isinstance(value, int)
+        }, cat="scheduler", tid=TID_RUNTIME)
+    for letter in report.dead_letters:
+        tracer.instant(f"dead_letter {letter.stage}", cat="faults",
+                       tid=TID_RUNTIME, **letter.as_dict())

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
 from repro.analysis.cfg import PpsLoop, find_pps_loop, split_large_blocks
 from repro.analysis.dependence_graph import LoopDependenceModel
 from repro.lang.intrinsics import Effect, get_intrinsic
@@ -36,7 +37,7 @@ from repro.ssa.construct import construct_ssa
 _REPLICABLE_EFFECTS = frozenset({Effect.PURE, Effect.MEM_READ})
 
 
-class PipelineError(Exception):
+class PipelineError(ReproError):
     """The PPS cannot be pipelined as requested."""
 
 

@@ -17,16 +17,31 @@ from repro.runtime.equivalence import (
     compare,
     observe,
 )
+from repro.errors import DeadlockError, FaultPlanError, TrapError
 from repro.runtime.compile import CompiledFunction, compile_function
+from repro.runtime.faults import (
+    DeadLetter,
+    FaultInjector,
+    FaultPlan,
+    FaultyPipe,
+    builtin_plans,
+)
 from repro.runtime.interp import Interpreter, InterpStats
 from repro.runtime.mode import reference_active, reference_mode
 from repro.runtime.packets import PacketError, PacketStore
 from repro.runtime.scheduler import RunResult, run_group, run_pipeline, run_sequential
 from repro.runtime.state import MachineState, Pipe, RuntimeError_, WakeHub
+from repro.runtime.watchdog import Watchdog
 
 __all__ = [
     "CompiledFunction",
+    "DeadLetter",
+    "DeadlockError",
     "DeviceModel",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultyPipe",
     "Interpreter",
     "InterpStats",
     "MPACKET_SIZE",
@@ -38,9 +53,12 @@ __all__ = [
     "Pipe",
     "RunResult",
     "RuntimeError_",
+    "TrapError",
     "TxRecord",
     "WakeHub",
+    "Watchdog",
     "assert_equivalent",
+    "builtin_plans",
     "compare",
     "compile_function",
     "make_status",

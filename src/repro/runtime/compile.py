@@ -56,7 +56,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.types import binary_func, unary_func, wrap32
 from repro.ir.values import Const, PipeRef, RegionRef, VReg
-from repro.runtime.state import RuntimeError_
+from repro.errors import TrapError
 
 
 class CompiledBlock:
@@ -135,7 +135,7 @@ def _reader(value):
         def read(regs, _reg=value):
             return regs[_reg]
         return read
-    raise RuntimeError_(f"cannot evaluate operand {value!r}")
+    raise TrapError(f"cannot evaluate operand {value!r}")
 
 
 # -- straight-line instructions ----------------------------------------------
@@ -158,7 +158,7 @@ def _compile_assign(inst: Assign):
             regs = interp.regs
             regs[dest] = regs[src]
         return op
-    raise RuntimeError_(f"cannot evaluate operand {src!r}")
+    raise TrapError(f"cannot evaluate operand {src!r}")
 
 
 def _compile_binop(inst: BinOp):
@@ -173,7 +173,7 @@ def _compile_binop(inst: BinOp):
             try:
                 regs[dest] = func(read_lhs(regs), read_rhs(regs))
             except ZeroDivisionError as exc:
-                raise RuntimeError_(
+                raise TrapError(
                     f"{interp.function.name}: {exc} at {location}"
                 ) from exc
         return op
@@ -228,7 +228,7 @@ def _compile_array_load(inst: ArrayLoad):
         index = read_index(regs)
         frame = interp.arrays[array_name]
         if not 0 <= index < len(frame):
-            raise RuntimeError_(
+            raise TrapError(
                 f"{interp.function.name}: {array_name}[{index}] out of bounds"
             )
         regs[dest] = frame[index]
@@ -244,7 +244,7 @@ def _compile_array_store(inst: ArrayStore):
         index = read_index(regs)
         frame = interp.arrays[array_name]
         if not 0 <= index < len(frame):
-            raise RuntimeError_(
+            raise TrapError(
                 f"{interp.function.name}: {array_name}[{index}] out of bounds"
             )
         frame[index] = read_value(regs)
@@ -258,7 +258,7 @@ def _compile_phi(inst: Phi):
     def op(interp):
         read = readers.get(interp.prev_block)
         if read is None:
-            raise RuntimeError_(
+            raise TrapError(
                 f"phi in {interp.function.name} has no incoming for "
                 f"{interp.prev_block}"
             )
@@ -285,7 +285,7 @@ def _compile_pipe_in(inst: PipeIn):
         if not isinstance(message, tuple):
             message = (message,)
         if len(message) != count:
-            raise RuntimeError_(
+            raise TrapError(
                 f"{interp.function.name}: pipe_in expected "
                 f"{count} words, got {len(message)}"
             )
@@ -341,7 +341,7 @@ def _compile_call(inst: Call):
         callee = inst.callee
 
         def op(interp):
-            raise RuntimeError_(
+            raise TrapError(
                 f"{interp.function.name}: user call {callee!r} reached the "
                 f"interpreter (inlining missed it)"
             )
@@ -364,7 +364,7 @@ def _compile_call(inst: Call):
             stats.weight += weight
             message = pipe.recv()
             if isinstance(message, tuple):
-                raise RuntimeError_(
+                raise TrapError(
                     f"pipe_recv on {pipe_name} found a multi-word message"
                 )
             if dest is not None:
@@ -446,10 +446,10 @@ def _compile_call(inst: Call):
             regs = interp.regs
             frame = interp.state.regions.get(region_name)
             if frame is None:
-                raise RuntimeError_(f"unknown memory region {region_name!r}")
+                raise TrapError(f"unknown memory region {region_name!r}")
             addr = read_addr(regs)
             if not 0 <= addr < len(frame):
-                raise RuntimeError_(f"{region_name}[{addr}] out of bounds "
+                raise TrapError(f"{region_name}[{addr}] out of bounds "
                                     f"({len(frame)} words)")
             value = frame[addr] & 0xFFFFFFFF
             if value > 0x7FFFFFFF:
@@ -506,7 +506,7 @@ def _compile_call(inst: Call):
                                  dest)
 
     def op(interp):  # pragma: no cover - the verifier rejects earlier
-        raise RuntimeError_(f"unimplemented intrinsic {name!r}")
+        raise TrapError(f"unimplemented intrinsic {name!r}")
     return op
 
 
@@ -680,7 +680,7 @@ def _compile_seq_advance(inst):
         expected = (stats.iterations - 1) * interp.seq_stride \
             + interp.seq_offset
         if current != expected:
-            raise RuntimeError_(
+            raise TrapError(
                 f"{interp.function.name}: sequencer for {resource} "
                 f"advanced out of order ({current} != {expected})"
             )
@@ -738,7 +738,7 @@ def _compile_terminator(term):
         def run(interp):
             return None
         return run
-    raise RuntimeError_(f"unknown terminator {term}")
+    raise TrapError(f"unknown terminator {term}")
 
 
 # -- the compiler ------------------------------------------------------------
@@ -777,7 +777,7 @@ def _compile_instruction(inst):
         return _compile_seq_advance(inst), True
 
     def op(interp):
-        raise RuntimeError_(f"unknown instruction {inst}")
+        raise TrapError(f"unknown instruction {inst}")
     return op, False
 
 

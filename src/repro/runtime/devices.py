@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections import deque
 
+from repro.errors import TrapError
+
 MPACKET_SIZE = 64
 
 SOP_FLAG = 1
@@ -54,8 +56,12 @@ def status_length(status: int) -> int:
     return (status >> LEN_SHIFT) & LEN_MASK
 
 
-class DeviceError(Exception):
-    """A device-intrinsic misuse trapped at runtime."""
+class DeviceError(TrapError):
+    """A device-intrinsic misuse trapped at runtime.
+
+    A :class:`~repro.errors.TrapError` subclass so per-packet trap
+    isolation quarantines device misuse like any other trap.
+    """
 
 
 @dataclass

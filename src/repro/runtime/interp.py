@@ -49,7 +49,8 @@ from repro.ir.types import eval_binary, eval_unary, wrap32
 from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef, Value, VReg
 from repro.runtime import mode
 from repro.runtime.compile import compile_function
-from repro.runtime.state import MachineState, RuntimeError_
+from repro.errors import TrapError
+from repro.runtime.state import MachineState
 
 
 @dataclass(slots=True)
@@ -61,6 +62,7 @@ class InterpStats:
     iterations: int = 0            # completed passes through the loop start
     transmission_weight: int = 0   # weight spent in PipeIn/PipeOut pseudo-ops
     blocked: int = 0               # times the interpreter had to wait
+    traps: int = 0                 # quarantined traps (scheduler isolation)
     block_counts: dict = field(default_factory=dict)  # block name -> executions
     # Replication: accumulated weight spent while holding each serially
     # ordered resource (critical-section size), and the section count.
@@ -97,6 +99,14 @@ class Interpreter:
         self.prev_block: str | None = None
         self.pipes: dict = {}
         self._held: dict = {}  # serially held resources -> weight mark
+        # Chaos hooks (all inert unless a fault plan arms them): extra
+        # per-iteration yields, a pending injected trap (fired through the
+        # existing fuel check so the fault-free path gains no test), and
+        # the block to resume from after a quarantine restart.
+        self._slow_yields = 0
+        self._fault_trap: str | None = None
+        self._fault_restore_fuel = 0
+        self._resume_block: str | None = None
         for param in function.params:
             self.regs[param] = 0
 
@@ -107,7 +117,7 @@ class Interpreter:
             return wrap32(operand.value)
         if isinstance(operand, VReg):
             return self.regs.get(operand, 0)
-        raise RuntimeError_(f"cannot evaluate operand {operand!r}")
+        raise TrapError(f"cannot evaluate operand {operand!r}")
 
     def set_reg(self, reg: VReg, value: int) -> None:
         self.regs[reg] = wrap32(value)
@@ -134,7 +144,9 @@ class Interpreter:
         counts = stats.block_counts
         loop_start = self.loop_start
         max_iterations = self.max_iterations
-        block = blocks[program.entry]
+        start = self._resume_block or program.entry
+        self._resume_block = None
+        block = blocks[start]
         while True:
             name = block.name
             if name == loop_start:
@@ -144,12 +156,15 @@ class Interpreter:
                     self.finished = True
                     return
                 yield  # cooperative scheduling point, once per iteration
+                if self._slow_yields:
+                    # Injected per-stage slowdown: surrender the scheduler
+                    # slot a few extra times per iteration.
+                    for _ in range(self._slow_yields):
+                        yield
             counts[name] = counts.get(name, 0) + 1
             self.fuel -= block.cost
             if self.fuel <= 0:
-                raise RuntimeError_(
-                    f"{self.function.name}: out of fuel (livelock?)"
-                )
+                raise self._fuel_exhausted()
             for step in block.steps:
                 wait = step(self)
                 if wait is not None:
@@ -167,7 +182,8 @@ class Interpreter:
             block = blocks[next_name]
 
     def _run_reference(self) -> Iterator[None]:
-        block_name = self.function.entry
+        block_name = self._resume_block or self.function.entry
+        self._resume_block = None
         assert block_name is not None
         prev_name: str | None = None
         while True:
@@ -178,15 +194,16 @@ class Interpreter:
                     self.finished = True
                     return
                 yield  # cooperative scheduling point, once per iteration
+                if self._slow_yields:
+                    for _ in range(self._slow_yields):
+                        yield
             block = self.function.block(block_name)
             counts = self.stats.block_counts
             counts[block_name] = counts.get(block_name, 0) + 1
             self.prev_block = prev_name
             for inst in block.instructions:
                 if self.fuel <= 0:
-                    raise RuntimeError_(
-                        f"{self.function.name}: out of fuel (livelock?)"
-                    )
+                    raise self._fuel_exhausted()
                 self.fuel -= 1
                 if isinstance(inst, Phi):
                     self._exec_phi(inst, prev_name)
@@ -209,7 +226,7 @@ class Interpreter:
                 self.finished = True
                 return
             else:  # pragma: no cover
-                raise RuntimeError_(f"unknown terminator {terminator}")
+                raise TrapError(f"unknown terminator {terminator}")
 
     def _blocked(self, key: tuple) -> Iterator[None]:
         """One blocked yield, publishing the awaited resource."""
@@ -217,6 +234,62 @@ class Interpreter:
         self.wait_key = key
         yield
         self.wait_key = None
+
+    # -- chaos hooks (fault injection + trap isolation) -------------------------
+
+    def _fuel_exhausted(self) -> Exception:
+        """Build the trap for a zero fuel gauge (cold path).
+
+        Injected traps ride on the existing fuel check: arming one lowers
+        ``fuel`` to the target instruction budget, so the hot loops need
+        no extra test, and this cold handler tells the two cases apart.
+        """
+        if self._fault_trap is not None:
+            return TrapError(f"{self.function.name}: {self._fault_trap}")
+        return TrapError(f"{self.function.name}: out of fuel (livelock?)")
+
+    def arm_injected_trap(self, after_instructions: int, message: str) -> None:
+        """Trap after roughly ``after_instructions`` more instructions."""
+        budget = max(1, after_instructions)
+        if budget < self.fuel:
+            self._fault_restore_fuel = self.fuel - budget
+            self.fuel = budget
+            self._fault_trap = message
+
+    def can_quarantine(self) -> bool:
+        """True when a trapped iteration can be isolated: the interpreter
+        has a loop to restart at and its generator can be rebuilt."""
+        return self.loop_start is not None
+
+    def quarantine_reset(self) -> None:
+        """Reset per-packet state after a trapped iteration.
+
+        Registers and function-local scratch arrays are zeroed (shared
+        regions, pipes, packets, and sequencers are machine state and
+        survive), the iteration that trapped stays spent, and the next
+        ``run()`` resumes at the loop start instead of the entry block.
+        """
+        for reg in self.regs:
+            self.regs[reg] = 0
+        for array in self.arrays.values():
+            for index in range(len(array)):
+                array[index] = 0
+        self._held.clear()
+        self.wait_key = None
+        self.prev_block = None
+        self.finished = False
+        # The restart pass through loop_start re-counts the iteration the
+        # trap already consumed; compensate so bounded stages still attempt
+        # their full budget.
+        if self.stats.iterations > 0:
+            self.stats.iterations -= 1
+        if self._fault_trap is not None:
+            # The injected trap fired (or is being cleared): restore the
+            # real fuel gauge so the restart is not starved.
+            self.fuel = max(self.fuel, 0) + self._fault_restore_fuel
+            self._fault_restore_fuel = 0
+            self._fault_trap = None
+        self._resume_block = self.loop_start
 
     def _account(self, inst) -> None:
         self.stats.instructions += 1
@@ -228,7 +301,7 @@ class Interpreter:
     def _exec_phi(self, phi: Phi, prev_name: str | None) -> None:
         self._account(phi)
         if prev_name is None or prev_name not in phi.incomings:
-            raise RuntimeError_(
+            raise TrapError(
                 f"phi in {self.function.name} has no incoming for {prev_name}"
             )
         self.set_reg(phi.dest, self.value(phi.incomings[prev_name]))
@@ -245,7 +318,7 @@ class Interpreter:
                 result = eval_binary(inst.op, self.value(inst.lhs),
                                      self.value(inst.rhs))
             except ZeroDivisionError as exc:
-                raise RuntimeError_(
+                raise TrapError(
                     f"{self.function.name}: {exc} at {inst.location}"
                 ) from exc
             self.set_reg(inst.dest, result)
@@ -268,7 +341,7 @@ class Interpreter:
             if not isinstance(message, tuple):
                 message = (message,)
             if len(message) != len(inst.dests):
-                raise RuntimeError_(
+                raise TrapError(
                     f"{self.function.name}: pipe_in expected "
                     f"{len(inst.dests)} words, got {len(message)}"
                 )
@@ -307,7 +380,7 @@ class Interpreter:
             current = self.state.sequencers.get(inst.resource, 0)
             expected = self._global_iteration()
             if current != expected:
-                raise RuntimeError_(
+                raise TrapError(
                     f"{self.function.name}: sequencer for {inst.resource} "
                     f"advanced out of order ({current} != {expected})"
                 )
@@ -320,12 +393,12 @@ class Interpreter:
                 self.stats.serial_sections[inst.resource] = (
                     self.stats.serial_sections.get(inst.resource, 0) + 1)
             return
-        raise RuntimeError_(f"unknown instruction {inst}")
+        raise TrapError(f"unknown instruction {inst}")
 
     def _array_load(self, array: ArrayRef, index: int) -> int:
         frame = self.arrays[array.name]
         if not 0 <= index < len(frame):
-            raise RuntimeError_(
+            raise TrapError(
                 f"{self.function.name}: {array.name}[{index}] out of bounds"
             )
         return frame[index]
@@ -333,7 +406,7 @@ class Interpreter:
     def _array_store(self, array: ArrayRef, index: int, value: int) -> None:
         frame = self.arrays[array.name]
         if not 0 <= index < len(frame):
-            raise RuntimeError_(
+            raise TrapError(
                 f"{self.function.name}: {array.name}[{index}] out of bounds"
             )
         frame[index] = value
@@ -344,7 +417,7 @@ class Interpreter:
         name = inst.callee
         state = self.state
         if not inst.is_intrinsic:
-            raise RuntimeError_(
+            raise TrapError(
                 f"{self.function.name}: user call {name!r} reached the "
                 f"interpreter (inlining missed it)"
             )
@@ -362,7 +435,7 @@ class Interpreter:
             self._account(inst)
             message = pipe.recv()
             if isinstance(message, tuple):
-                raise RuntimeError_(
+                raise TrapError(
                     f"pipe_recv on {pipe_ref.name} found a multi-word message"
                 )
             self._set_result(inst, message)
@@ -444,7 +517,7 @@ class Interpreter:
         elif name == "trace":
             state.trace(arg(0), arg(1))
         else:  # pragma: no cover
-            raise RuntimeError_(f"unimplemented intrinsic {name!r}")
+            raise TrapError(f"unimplemented intrinsic {name!r}")
         return
 
     def _set_result(self, inst: Call, value: int) -> None:

@@ -8,11 +8,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import TrapError
 from repro.ir.types import wrap32
 
 
-class PacketError(Exception):
-    """A packet-intrinsic misuse trapped at runtime."""
+class PacketError(TrapError):
+    """A packet-intrinsic misuse trapped at runtime (a
+    :class:`~repro.errors.TrapError`, so trap isolation can quarantine
+    the offending packet)."""
 
 
 @dataclass

@@ -24,11 +24,17 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.errors import TrapError
 from repro.ir.function import Function
 from repro.obs import tracer as obs
 from repro.runtime import mode
+from repro.runtime.faults import DeadLetter
 from repro.runtime.interp import Interpreter, InterpStats
-from repro.runtime.state import MachineState, RuntimeError_
+from repro.runtime.state import MachineState
+
+#: Per-stage quarantine budget: a stage that traps more often than this
+#: is broken beyond isolation and the run aborts with the last trap.
+MAX_TRAPS_PER_STAGE = 1000
 
 
 @dataclass
@@ -44,20 +50,51 @@ class RunResult:
 
 def run_group(interpreters: dict[str, Interpreter], *,
               max_rounds: int = 10_000_000,
-              event_driven: bool | None = None) -> RunResult:
-    """Run interpreters together until everyone finishes or blocks."""
+              event_driven: bool | None = None,
+              watchdog=None,
+              isolate_traps: bool = False) -> RunResult:
+    """Run interpreters together until everyone finishes or blocks.
+
+    ``watchdog`` (a :class:`repro.runtime.watchdog.Watchdog`) judges
+    quiescence and instruction progress; ``isolate_traps`` quarantines a
+    trapped packet iteration (dead-letter log on the machine state)
+    instead of aborting the run.  Both are features of the event-driven
+    scheduler; the polling reference scheduler ignores them.
+    """
     if event_driven is None:
         event_driven = not mode.reference_active()
     with obs.span("run_group", cat="runtime", tid=obs.TID_RUNTIME,
                   interpreters=sorted(interpreters),
                   event_driven=event_driven):
         if event_driven:
-            return _run_group_event(interpreters, max_rounds=max_rounds)
+            return _run_group_event(interpreters, max_rounds=max_rounds,
+                                    watchdog=watchdog,
+                                    isolate_traps=isolate_traps)
         return _run_group_polling(interpreters, max_rounds=max_rounds)
 
 
+def _quarantine(name: str, interp: Interpreter, exc: TrapError) -> bool:
+    """Try to isolate a trapped iteration; True when the stage may go on."""
+    if not interp.can_quarantine():
+        return False
+    interp.stats.traps += 1
+    if interp.stats.traps > MAX_TRAPS_PER_STAGE:
+        return False
+    interp.state.dead_letters.append(DeadLetter(
+        stage=name,
+        iteration=interp.stats.iterations,
+        instructions=interp.stats.instructions,
+        last_block=interp.prev_block,
+        cause=type(exc).__name__,
+        detail=str(exc),
+    ))
+    interp.quarantine_reset()
+    return True
+
+
 def _run_group_event(interpreters: dict[str, Interpreter], *,
-                     max_rounds: int) -> RunResult:
+                     max_rounds: int, watchdog=None,
+                     isolate_traps: bool = False) -> RunResult:
     """Ready-deque scheduler: blocked interpreters park on their wait key."""
     result = RunResult()
     generators = {name: interp.run() for name, interp in interpreters.items()}
@@ -65,8 +102,13 @@ def _run_group_event(interpreters: dict[str, Interpreter], *,
     queued = set(ready)      # names currently in the ready deque
     parked: set[str] = set()  # names parked on a wake-hub key
     hubs = {}
+    injectors = {}
     for interp in interpreters.values():
         hubs[id(interp.state.wake_hub)] = interp.state.wake_hub
+        if interp.state.faults is not None:
+            injectors[id(interp.state.faults)] = interp.state.faults
+    for injector in injectors.values():
+        injector.arm_interpreters(interpreters)
 
     def wake(name: str) -> None:
         if name in parked:
@@ -82,28 +124,63 @@ def _run_group_event(interpreters: dict[str, Interpreter], *,
     limit = max_rounds * max(1, len(interpreters))
     steps = 0
     try:
-        while ready:
-            steps += 1
-            if steps > limit:
-                raise RuntimeError_("scheduler exceeded max_rounds (livelock?)")
-            name = ready.popleft()
-            queued.discard(name)
-            interp = interpreters[name]
-            try:
-                next(generators[name])
-            except StopIteration:
+        while True:
+            while ready:
+                steps += 1
+                if steps > limit:
+                    raise TrapError(
+                        "scheduler exceeded max_rounds (livelock?)")
+                if watchdog is not None:
+                    watchdog.step(interpreters)
+                name = ready.popleft()
+                queued.discard(name)
+                interp = interpreters[name]
+                try:
+                    next(generators[name])
+                except StopIteration:
+                    continue
+                except TrapError as exc:
+                    if not (isolate_traps and _quarantine(name, interp, exc)):
+                        raise
+                    # Fresh generator resuming at the loop start; the
+                    # stage keeps draining the pipeline.
+                    generators[name] = interp.run()
+                    queued.add(name)
+                    ready.append(name)
+                    continue
+                key = interp.wait_key
+                if key is None:
+                    # Voluntary per-iteration yield: still runnable.
+                    queued.add(name)
+                    ready.append(name)
+                else:
+                    parked.add(name)
+                    interp.state.wake_hub.park(key, name)
+            # Quiescent.  Let armed fault injectors advance their virtual
+            # clock first — an expiring pipe stall may wake a waiter.
+            advanced = False
+            for injector in injectors.values():
+                if injector.on_quiescence():
+                    advanced = True
+            if advanced:
                 continue
-            key = interp.wait_key
-            if key is None:
-                # Voluntary per-iteration yield: still runnable.
-                queued.add(name)
-                ready.append(name)
-            else:
-                parked.add(name)
-                interp.state.wake_hub.park(key, name)
-    finally:
+            if watchdog is not None:
+                watchdog.check_quiescence(interpreters)
+            break
+    except BaseException:
         for hub in hubs.values():
             hub.detach()
+        raise
+    # Clean teardown: the hub drains its wait sets back to us so a token
+    # it held that the scheduler never parked — a lost wakeup in the
+    # park/notify protocol itself — cannot vanish silently.
+    for hub in hubs.values():
+        for key, tokens in hub.detach().items():
+            for token in tokens:
+                if token not in parked:
+                    raise TrapError(
+                        f"wake hub still held {token!r} (key {key!r}) "
+                        f"unknown to the scheduler — lost wakeup")
     result.rounds = steps
     for name, interp in interpreters.items():
         result.stats[name] = interp.stats
@@ -119,7 +196,7 @@ def _run_group_polling(interpreters: dict[str, Interpreter], *,
     while live:
         result.rounds += 1
         if result.rounds > max_rounds:
-            raise RuntimeError_("scheduler exceeded max_rounds (livelock?)")
+            raise TrapError("scheduler exceeded max_rounds (livelock?)")
         progressed = False
         before = {name: interpreters[name].stats.instructions for name in live}
         for name in list(live):
@@ -138,19 +215,22 @@ def _run_group_polling(interpreters: dict[str, Interpreter], *,
 
 
 def run_sequential(function: Function, state: MachineState, *,
-                   iterations: int) -> InterpStats:
+                   iterations: int, watchdog=None,
+                   isolate_traps: bool = False) -> InterpStats:
     """Run one sequential PPS for ``iterations`` loop iterations."""
     from repro.analysis.cfg import find_pps_loop
 
     loop = find_pps_loop(function)
     interp = Interpreter(function, state, loop_start=loop.header,
                          max_iterations=iterations)
-    run_group({function.name: interp})
+    run_group({function.name: interp}, watchdog=watchdog,
+              isolate_traps=isolate_traps)
     return interp.stats
 
 
 def run_pipeline(stages: list, state: MachineState, *,
-                 iterations: int) -> RunResult:
+                 iterations: int, watchdog=None,
+                 isolate_traps: bool = False) -> RunResult:
     """Run realized pipeline stages together.
 
     Stage 1 is bounded to ``iterations`` loop iterations; downstream
@@ -164,12 +244,14 @@ def run_pipeline(stages: list, state: MachineState, *,
         interpreters[function.name] = Interpreter(
             function, state, loop_start=loop_start, max_iterations=bound
         )
-    result = run_group(interpreters)
+    result = run_group(interpreters, watchdog=watchdog,
+                       isolate_traps=isolate_traps)
     return result
 
 
 def run_replicas(replicas: list, state: MachineState, *,
-                 iterations: int) -> RunResult:
+                 iterations: int, watchdog=None,
+                 isolate_traps: bool = False) -> RunResult:
     """Run replicated PPS instances (see repro.pipeline.replicate).
 
     ``iterations`` is the total number of global iterations; replica r of
@@ -188,7 +270,8 @@ def run_replicas(replicas: list, state: MachineState, *,
             max_iterations=max(0, own),
             seq_offset=replica.index - 1, seq_stride=ways,
         )
-    return run_group(interpreters)
+    return run_group(interpreters, watchdog=watchdog,
+                     isolate_traps=isolate_traps)
 
 
 def _stage_loop_start(stage) -> str:
@@ -197,5 +280,5 @@ def _stage_loop_start(stage) -> str:
         for name in stage.function.block_order:
             if name.startswith("pps_header"):
                 return name
-        raise RuntimeError_(f"{stage.function.name}: no loop header found")
+        raise TrapError(f"{stage.function.name}: no loop header found")
     return "stage_recv"

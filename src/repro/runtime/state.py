@@ -5,13 +5,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.errors import TrapError
 from repro.ir.function import Module
 from repro.runtime.devices import DeviceModel
 from repro.runtime.packets import PacketStore
 
-
-class RuntimeError_(Exception):
-    """A trap raised by the interpreter (bad memory access, etc.)."""
+#: Deprecated alias — the interpreter trap class now lives in
+#: :mod:`repro.errors` under its proper name.
+RuntimeError_ = TrapError
 
 
 class WakeHub:
@@ -31,7 +32,8 @@ class WakeHub:
     tick on blocking events, never on the per-instruction path.
     """
 
-    __slots__ = ("_waiters", "_on_wake", "parks", "notifies", "wakes")
+    __slots__ = ("_waiters", "_on_wake", "parks", "notifies", "wakes",
+                 "stranded")
 
     def __init__(self):
         self._waiters: dict[tuple, list] = {}
@@ -39,14 +41,33 @@ class WakeHub:
         self.parks = 0
         self.notifies = 0
         self.wakes = 0
+        self.stranded = 0
 
     def attach(self, on_wake) -> None:
         """Install the scheduler's wake callback (token -> None)."""
         self._on_wake = on_wake
 
-    def detach(self) -> None:
+    def detach(self) -> dict[tuple, list]:
+        """Drop the wake callback and *drain* every parked token.
+
+        The drained ``key -> [token, ...]`` mapping is returned so the
+        tearing-down scheduler can reconcile it against its own parked
+        set — a token the hub held that the scheduler did not know about
+        is a lost-wakeup bug, previously discarded invisibly.  ``stranded``
+        tallies every token ever drained this way (normal quiescence does
+        strand the end-of-stream waiters; the counter makes that visible
+        in the runtime report instead of silent).
+        """
+        drained = self._waiters
+        self._waiters = {}
         self._on_wake = None
-        self._waiters.clear()
+        self.stranded += sum(len(tokens) for tokens in drained.values())
+        return drained
+
+    def parked(self) -> dict[tuple, tuple]:
+        """Snapshot of the current wait sets (key -> tokens), for the
+        watchdog's deadlock inventory."""
+        return {key: tuple(tokens) for key, tokens in self._waiters.items()}
 
     def park(self, key: tuple, token) -> None:
         """Record ``token`` as waiting for ``key`` to be notified."""
@@ -130,11 +151,22 @@ class MachineState:
         self.traces: dict[int, list[int]] = {}
         # Per-resource global iteration sequencers (PPS replication).
         self.sequencers: dict = {}
+        # Chaos hooks: ``faults`` is the armed FaultInjector (None on the
+        # fault-free path — nothing below ever checks it per instruction),
+        # ``dead_letters`` collects quarantined-packet records when the
+        # scheduler runs with trap isolation.
+        self.faults = None
+        self.dead_letters: list = []
 
     def pipe(self, name: str) -> Pipe:
         pipe = self.pipes.get(name)
         if pipe is None:
             pipe = Pipe(name, capacity=self.pipe_capacity, hub=self.wake_hub)
+            if self.faults is not None:
+                # Late-created pipes (the realized stages' .xfer rings)
+                # must honour an armed fault plan too.  This check runs
+                # once per pipe *creation*, never on the send/recv path.
+                pipe = self.faults.wrap_pipe(pipe)
             self.pipes[name] = pipe
         return pipe
 
@@ -146,22 +178,22 @@ class MachineState:
     def region(self, name: str) -> list[int]:
         region = self.regions.get(name)
         if region is None:
-            raise RuntimeError_(f"unknown memory region {name!r}")
+            raise TrapError(f"unknown memory region {name!r}")
         return region
 
     def region_write(self, name: str, addr: int, value: int) -> None:
         if self._region_readonly.get(name):
-            raise RuntimeError_(f"write to readonly region {name!r}")
+            raise TrapError(f"write to readonly region {name!r}")
         region = self.region(name)
         if not 0 <= addr < len(region):
-            raise RuntimeError_(f"{name}[{addr}] out of bounds "
+            raise TrapError(f"{name}[{addr}] out of bounds "
                                 f"({len(region)} words)")
         region[addr] = value
 
     def region_read(self, name: str, addr: int) -> int:
         region = self.region(name)
         if not 0 <= addr < len(region):
-            raise RuntimeError_(f"{name}[{addr}] out of bounds "
+            raise TrapError(f"{name}[{addr}] out of bounds "
                                 f"({len(region)} words)")
         return region[addr]
 

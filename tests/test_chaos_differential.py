@@ -1,0 +1,64 @@
+"""The chaos differential: pipelining stays faithful under seeded faults."""
+
+import pytest
+
+from repro.eval.chaos import chaos_differential
+from repro.runtime.faults import builtin_plans
+
+
+def test_chaos_smoke_drop_light():
+    # Tier-1 sized: one plan, two degrees, a short stream.
+    plans = {"drop-light": builtin_plans()["drop-light"]}
+    report = chaos_differential("ipv4", plans=plans, degrees=(1, 2),
+                                packets=12, seed=3)
+    assert report.ok, report.render()
+    [outcome] = report.outcomes
+    assert outcome.semantics_preserving
+    assert outcome.faults["drops"] > 0  # the plan actually bit
+    assert 0 < outcome.fed < 12
+
+
+def test_chaos_trap_plan_quarantines_everywhere():
+    plans = {"trap-storm": builtin_plans()["trap-storm"]}
+    letters = []
+    report = chaos_differential("ipv4", plans=plans, degrees=(1, 2),
+                                packets=12, seed=3,
+                                collect_letters=letters)
+    assert report.ok, report.render()
+    [outcome] = report.outcomes
+    assert not outcome.semantics_preserving
+    assert outcome.baseline_dead_letters >= 1
+    for degree_outcome in outcome.degrees:
+        assert degree_outcome.dead_letters >= 1
+        assert degree_outcome.traps >= 1
+    assert letters
+    assert {"stage", "cause", "plan", "pipeline_degree"} <= set(letters[0])
+
+
+@pytest.mark.chaos
+def test_chaos_full_matrix():
+    # The ISSUE's acceptance bar: every builtin plan, degrees {1, 2, 4}.
+    letters = []
+    report = chaos_differential("ipv4", degrees=(1, 2, 4), packets=40,
+                                seed=7, collect_letters=letters)
+    assert report.ok, report.render()
+    names = {outcome.plan for outcome in report.outcomes}
+    assert {"drop-light", "delay-stall", "mixed-loss",
+            "trap-storm"} <= names
+    for outcome in report.outcomes:
+        if outcome.plan == "delay-stall":
+            assert any(degree.ok for degree in outcome.degrees)
+            assert outcome.faults["delays"] > 0
+        if outcome.plan == "trap-storm":
+            assert all(degree.dead_letters >= 1
+                       for degree in outcome.degrees)
+    assert any(record["plan"] == "trap-storm" for record in letters)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("app_name", ["rx", "ip_v6"])
+def test_chaos_other_apps_drop_light(app_name):
+    plans = {"drop-light": builtin_plans()["drop-light"]}
+    report = chaos_differential(app_name, plans=plans, degrees=(1, 2),
+                                packets=16, seed=5)
+    assert report.ok, report.render()

@@ -185,7 +185,8 @@ def test_runtime_report_skips_untouched_pipes():
     assert [pipe.name for pipe in report.pipes] == ["used"]
     assert report.stages[0].name == "main"
     payload = report.as_dict()
-    assert payload["wake_hub"] == {"parks": 0, "notifies": 0, "wakes": 0}
+    assert payload["wake_hub"] == {"parks": 0, "notifies": 0, "wakes": 0,
+                                   "stranded": 0}
     assert payload["pipes"][0]["sent"] == 1
     text = report.render()
     assert "runtime profile:" in text

@@ -1,0 +1,252 @@
+"""Deterministic fault injection: plans, perturbation, stalls, traps."""
+
+import pytest
+
+from repro.errors import FaultPlanError, TrapError
+from repro.pipeline.transform import pipeline_pps
+from repro.runtime.equivalence import assert_equivalent, observe
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyPipe,
+    builtin_plans,
+)
+from repro.runtime.scheduler import run_pipeline, run_sequential
+from repro.runtime.state import MachineState, WakeHub
+
+from helpers import STANDARD_PPS, compile_module, standard_setup
+
+
+# -- plan parsing and validation ----------------------------------------------
+
+
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan.from_dict({
+        "seed": 9,
+        "inputs": {"in_q": {"drop": 0.25, "delay": 0.5, "max_delay": 3}},
+        "pipes": {"*.xfer*": {"stall_every": 4, "stall_for": 2}},
+        "stages": {"*": {"slowdown": 1}},
+    })
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again.to_dict() == plan.to_dict()
+    assert again.seed == 9
+    assert again.inputs["in_q"].drop == 0.25
+    assert again.pipes["*.xfer*"].stall_every == 4
+    assert again.stages["*"].slowdown == 1
+
+
+@pytest.mark.parametrize("data", [
+    {"bogus": 1},
+    {"seed": "seven"},
+    {"inputs": {"*": {"drop": 1.5}}},
+    {"inputs": {"*": {"surprise": 0.1}}},
+    {"inputs": {"*": {"max_delay": 0}}},
+    {"pipes": {"*": {"stall_every": -1}}},
+    {"stages": {"*": {"trap_at": "soon"}}},
+    {"stages": "everywhere"},
+    [],
+])
+def test_plan_validation_rejects(data):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict(data)
+
+
+def test_plan_rejects_invalid_json():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json("{not json")
+
+
+def test_semantics_preserving_predicate():
+    plans = builtin_plans()
+    assert plans["drop-light"].semantics_preserving()
+    assert plans["delay-stall"].semantics_preserving()
+    assert plans["mixed-loss"].semantics_preserving()
+    assert not plans["trap-storm"].semantics_preserving()
+    assert plans["trap-storm"].has_traps()
+    corrupting = FaultPlan.from_dict(
+        {"inputs": {"*": {"corrupt": 0.5}}})
+    assert not corrupting.semantics_preserving()
+
+
+# -- stream perturbation ------------------------------------------------------
+
+
+def _perturb(plan, items, key="in_q"):
+    return FaultInjector(plan).perturb(key, list(items))
+
+
+def test_perturbation_is_deterministic():
+    plan = FaultPlan.from_dict({
+        "seed": 5,
+        "inputs": {"*": {"drop": 0.2, "duplicate": 0.2, "delay": 0.4}},
+    })
+    items = list(range(100))
+    assert _perturb(plan, items) == _perturb(plan, items)
+    other = FaultPlan.from_dict({
+        "seed": 6,
+        "inputs": {"*": {"drop": 0.2, "duplicate": 0.2, "delay": 0.4}},
+    })
+    assert _perturb(plan, items) != _perturb(other, items)
+
+
+def test_drop_all_and_duplicate_all():
+    items = list(range(20))
+    dropper = FaultPlan.from_dict({"inputs": {"*": {"drop": 1.0}}})
+    assert _perturb(dropper, items) == []
+    doubler = FaultPlan.from_dict({"inputs": {"*": {"duplicate": 1.0}}})
+    doubled = _perturb(doubler, items)
+    assert len(doubled) == 40
+    assert doubled[0] == doubled[1] == 0  # copy rides next to the original
+
+
+def test_delay_preserves_the_multiset():
+    plan = FaultPlan.from_dict(
+        {"seed": 3, "inputs": {"*": {"delay": 1.0, "max_delay": 5}}})
+    items = list(range(50))
+    shuffled = _perturb(plan, items)
+    assert sorted(shuffled) == items
+    assert shuffled != items  # at 100% delay rate something must move
+
+
+def test_unmatched_key_is_untouched():
+    plan = FaultPlan.from_dict({"inputs": {"other_*": {"drop": 1.0}}})
+    assert _perturb(plan, [1, 2, 3], key="in_q") == [1, 2, 3]
+
+
+def test_corruption_flips_one_bit():
+    plan = FaultPlan.from_dict(
+        {"seed": 2, "inputs": {"*": {"corrupt": 1.0}}})
+    packet = bytes(range(32))
+    [mutated] = _perturb(plan, [packet])
+    assert mutated != packet
+    diff = [(a, b) for a, b in zip(packet, mutated) if a != b]
+    assert len(diff) == 1
+    a, b = diff[0]
+    assert bin(a ^ b).count("1") == 1
+    [word] = _perturb(plan, [12345])
+    assert word != 12345 and bin(word ^ 12345).count("1") == 1
+
+
+# -- pipe wrapping and stalls -------------------------------------------------
+
+
+def test_arm_wraps_matching_pipes_including_late_ones():
+    module = compile_module(STANDARD_PPS)
+    state = MachineState(module)
+    plan = FaultPlan.from_dict(
+        {"pipes": {"*": {"stall_every": 2, "stall_for": 1}}})
+    FaultInjector(plan).arm(state)
+    assert isinstance(state.pipes["in_q"], FaultyPipe)
+    late = state.pipe("made_up_later")
+    assert isinstance(late, FaultyPipe)
+
+
+def test_stalled_pipe_refuses_sends_until_ticked():
+    hub = WakeHub()
+    pipe = FaultyPipe("p", hub=hub, stall_every=2, stall_for=2)
+    pipe.send(1)
+    assert pipe.can_send()
+    pipe.send(2)
+    assert not pipe.can_send()       # stall engaged after 2 sends
+    assert pipe.tick_stall()
+    assert not pipe.can_send()       # stall_for=2: still stalled
+    assert pipe.tick_stall()
+    assert pipe.can_send()
+    assert not pipe.tick_stall()     # idle stall is a no-op
+    assert list(pipe.queue) == [1, 2]  # stalls never lose messages
+
+
+def test_stalls_and_slowdowns_preserve_equivalence():
+    module = compile_module(STANDARD_PPS)
+    plan = FaultPlan.from_dict({
+        "seed": 1,
+        "pipes": {"*.xfer*": {"stall_every": 3, "stall_for": 2}},
+        "stages": {"*": {"slowdown": 2}},
+    })
+
+    baseline_state = MachineState(module)
+    iterations = standard_setup(baseline_state)
+    run_sequential(module.pps("worker"), baseline_state,
+                   iterations=iterations)
+    baseline = observe(baseline_state)
+
+    for degree in (2, 3):
+        result = pipeline_pps(module, "worker", degree)
+        state = MachineState(module)
+        FaultInjector(plan).arm(state)
+        iterations = standard_setup(state)
+        run_pipeline(result.stages, state, iterations=iterations)
+        assert_equivalent(baseline, observe(state))
+        assert state.faults.stalls > 0  # the plan actually engaged
+
+
+# -- injected traps and isolation ---------------------------------------------
+
+
+def _armed_standard_state(module, plan):
+    state = MachineState(module)
+    FaultInjector(plan).arm(state)
+    iterations = standard_setup(state)
+    return state, iterations
+
+
+def test_injected_trap_aborts_without_isolation():
+    module = compile_module(STANDARD_PPS)
+    plan = FaultPlan.from_dict({"stages": {"*": {"trap_at": 100}}})
+    state, iterations = _armed_standard_state(module, plan)
+    with pytest.raises(TrapError, match="injected trap"):
+        run_sequential(module.pps("worker"), state, iterations=iterations)
+
+
+def test_injected_trap_is_quarantined_with_isolation():
+    module = compile_module(STANDARD_PPS)
+
+    clean_state = MachineState(module)
+    iterations = standard_setup(clean_state)
+    run_sequential(module.pps("worker"), clean_state, iterations=iterations)
+    clean_sent = clean_state.pipe("out_q").sent
+
+    plan = FaultPlan.from_dict({"stages": {"*": {"trap_at": 100}}})
+    state, iterations = _armed_standard_state(module, plan)
+    stats = run_sequential(module.pps("worker"), state,
+                           iterations=iterations, isolate_traps=True)
+    assert stats.traps == 1
+    [letter] = state.dead_letters
+    assert letter.stage == "worker"
+    assert "injected trap" in letter.detail
+    assert letter.cause == "TrapError"
+    # The pipeline kept draining: at most the quarantined iteration's
+    # output is missing (the trap may land after that iteration's send).
+    assert clean_sent - 1 <= state.pipe("out_q").sent <= clean_sent
+
+
+def test_quarantined_pipeline_keeps_draining():
+    module = compile_module(STANDARD_PPS)
+    plan = FaultPlan.from_dict({"stages": {"*s2of2": {"trap_at": 60}}})
+    result = pipeline_pps(module, "worker", 2)
+    state, iterations = _armed_standard_state(module, plan)
+    run = run_pipeline(result.stages, state, iterations=iterations,
+                       isolate_traps=True)
+    assert sum(stats.traps for stats in run.stats.values()) == 1
+    assert len(state.dead_letters) == 1
+    assert state.dead_letters[0].stage.endswith("s2of2")
+    assert state.pipe("out_q").sent >= iterations - 2
+
+
+# -- WakeHub.detach regression ------------------------------------------------
+
+
+def test_detach_drains_and_counts_stranded_tokens():
+    hub = WakeHub()
+    hub.attach(lambda token: None)
+    hub.park(("recv", "p"), "alpha")
+    hub.park(("recv", "p"), "beta")
+    hub.park(("send", "q"), "gamma")
+    drained = hub.detach()
+    assert drained == {("recv", "p"): ["alpha", "beta"],
+                       ("send", "q"): ["gamma"]}
+    assert hub.stranded == 3
+    # Fully drained: a fresh attach starts with no stale waiters.
+    assert hub.parked() == {}
+    hub.notify(("recv", "p"))  # must not wake anything drained
+    assert hub.detach() == {}
