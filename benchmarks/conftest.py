@@ -11,9 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.suite import build_app
-from repro.eval.experiments import ExperimentConfig
 from repro.eval.metrics import (
-    make_profiler,
     measure_pipeline,
     measure_sequential,
 )

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Gate a bench run against the committed baseline.
+
+Compares every overlapping (figure, app, degree) speedup cell of a fresh
+``repro bench`` report against ``BENCH_headline.json`` (the committed
+baseline).  A speedup regression beyond the tolerance (default 25%) is a
+hard failure; wall-clock metrics (build/partition/compile seconds,
+simulation wall time, instructions/second) vary with runner load, so
+they are reported as warn-only context rows.
+
+Writes a markdown summary (``--summary``) and appends it to
+``$GITHUB_STEP_SUMMARY`` when running under GitHub Actions.
+
+Usage::
+
+    python scripts/bench_delta.py \
+        --baseline BENCH_headline.json \
+        --current bench-out/BENCH_headline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+WALL_METRICS = ["build_seconds", "partition_seconds", "compile_seconds"]
+
+
+def iter_speedups(report: dict):
+    """Yield ((figure, app, degree), speedup) for every cell."""
+    for figure, entry in sorted(report.get("figures", {}).items()):
+        for app, series in sorted(entry.get("speedup_by_degree", {}).items()):
+            for degree, speedup in sorted(
+                series.items(), key=lambda item: int(item[0])
+            ):
+                yield (figure, app, int(degree)), float(speedup)
+
+
+def compare(baseline: dict, current: dict, tolerance: float):
+    """(regressions, improvements, rows) over the overlapping cells."""
+    base = dict(iter_speedups(baseline))
+    curr = dict(iter_speedups(current))
+    overlap = sorted(set(base) & set(curr))
+    regressions = []
+    improvements = []
+    rows = []
+    for cell in overlap:
+        before, after = base[cell], curr[cell]
+        ratio = after / before if before else 1.0
+        status = "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            regressions.append((cell, before, after, ratio))
+        elif ratio > 1.0 + tolerance:
+            status = "improved"
+            improvements.append((cell, before, after, ratio))
+        rows.append((cell, before, after, ratio, status))
+    return regressions, improvements, rows
+
+
+def render_summary(args, rows, regressions, improvements, wall_rows) -> str:
+    lines = ["# bench delta", ""]
+    lines.append(
+        f"Baseline `{args.baseline}` vs current `{args.current}` "
+        f"(tolerance {args.tolerance:.0%}): "
+        f"**{len(rows)} cells compared, {len(regressions)} regressions, "
+        f"{len(improvements)} improvements.**"
+    )
+    lines.append("")
+    if regressions:
+        lines.append("## Regressions (hard failure)")
+        lines.append("")
+        lines.append("| figure | app | degree | baseline | current | ratio |")
+        lines.append("|---|---|---|---|---|---|")
+        for (figure, app, degree), before, after, ratio in regressions:
+            lines.append(
+                f"| {figure} | {app} | {degree} | {before:.4f}x "
+                f"| {after:.4f}x | {ratio:.2f} |"
+            )
+        lines.append("")
+    lines.append("## Speedup cells")
+    lines.append("")
+    lines.append("| figure | app | degree | baseline | current | status |")
+    lines.append("|---|---|---|---|---|---|")
+    for (figure, app, degree), before, after, ratio, status in rows:
+        lines.append(
+            f"| {figure} | {app} | {degree} | {before:.4f}x "
+            f"| {after:.4f}x | {status} |"
+        )
+    lines.append("")
+    if wall_rows:
+        lines.append("## Wall-clock context (warn-only)")
+        lines.append("")
+        lines.append("| metric | baseline | current |")
+        lines.append("|---|---|---|")
+        for metric, before, after in wall_rows:
+            lines.append(f"| {metric} | {before:.3f}s | {after:.3f}s |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_headline.json")
+    parser.add_argument("--current", default="bench-out/BENCH_headline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop before failing (default 0.25)",
+    )
+    parser.add_argument("--summary", default="bench_delta.md")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    regressions, improvements, rows = compare(baseline, current, args.tolerance)
+    wall_rows = [
+        (metric, baseline[metric], current[metric])
+        for metric in WALL_METRICS
+        if metric in baseline and metric in current
+    ]
+
+    summary = render_summary(args, rows, regressions, improvements, wall_rows)
+    with open(args.summary, "w", encoding="utf-8") as handle:
+        handle.write(summary + "\n")
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a", encoding="utf-8") as handle:
+            handle.write(summary + "\n")
+
+    if not rows:
+        print("bench delta: no overlapping speedup cells — nothing gated")
+        return 1
+    for (figure, app, degree), before, after, ratio in regressions:
+        print(
+            f"REGRESSION {figure}/{app} D={degree}: "
+            f"{before:.4f}x -> {after:.4f}x ({ratio:.2f})",
+            file=sys.stderr,
+        )
+    print(
+        f"bench delta: {len(rows)} cells, {len(regressions)} regressions, "
+        f"{len(improvements)} improvements (tolerance {args.tolerance:.0%}); "
+        f"summary -> {args.summary}"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

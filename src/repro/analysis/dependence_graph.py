@@ -28,7 +28,6 @@ from repro.analysis.control_dependence import controlled_by
 from repro.analysis.graph import Condensation, Digraph
 from repro.analysis.memdep import Access, accesses_of, conflicts
 from repro.ir.function import Function
-from repro.ir.instructions import Phi
 from repro.ir.values import VReg
 from repro.obs import tracer as obs
 
@@ -116,7 +115,6 @@ class LoopDependenceModel:
     def _build_scalar_flow(self) -> None:
         """SSA def-use edges between different summarized nodes."""
         def_node: dict[VReg, int] = {}
-        body_blocks = set(self.loop.body)
         for name in self.loop.body:
             node = self.node_of_block(name)
             for inst in self.ssa.block(name).all_instructions():

@@ -7,7 +7,7 @@ the dependence graph, and the flow network's skeleton.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Hashable
 
 Node = Hashable
 

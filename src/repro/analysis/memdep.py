@@ -18,9 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.lang.intrinsics import Effect, get_intrinsic
 from repro.ir.instructions import ArrayLoad, ArrayStore, Call, Instruction
 from repro.ir.values import PipeRef, RegionRef
+from repro.lang.intrinsics import Effect, get_intrinsic
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.apps import qm as qm_mod
-from repro.apps import scheduler as sched_mod
 from repro.apps.common import (
     META_IN_PORT,
     META_LEN,

@@ -11,10 +11,10 @@ adjacent at the end of the iteration.
 from __future__ import annotations
 
 from repro.apps.common import (
+    MAX_PACKET_BYTES,
     META_LEN,
     META_OUT_PORT,
     META_SEQ,
-    MAX_PACKET_BYTES,
     MIN_PACKET_BYTES,
     TAG_TX,
     TAG_TX_ERR,

@@ -1,0 +1,235 @@
+"""The on-disk compilation-artifact store.
+
+Layout: ``<root>/objects/<key[:2]>/<key>.bin``.  Each entry is a
+versioned envelope::
+
+    {"magic": "repro-pipeline-cache", "schema": N, ...}\\n<pickle payload>
+
+The one-line JSON header carries the schema version, the key the entry
+was stored under, and the SHA-256 + byte length of the pickle payload;
+:meth:`CompileCache.lookup` re-verifies all of them, so a truncated,
+bit-rotted, or wrong-schema entry is discarded (with a warning and a
+``corrupt`` counter tick) instead of being deserialized.
+
+Writes go to a temporary file in the destination directory followed by
+``os.replace`` — atomic on POSIX — so concurrent writers (the parallel
+sweep runner's worker processes) can race on the same key without ever
+exposing a torn entry; last writer wins, and both wrote the same bytes
+anyway because the store is content-addressed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import warnings
+from pathlib import Path
+
+_MAGIC = "repro-pipeline-cache"
+
+#: Default size budget; oldest entries are evicted past it (see _prune).
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def resolve_cache(cache_dir: str | None = None,
+                  no_cache: bool = False) -> "CompileCache | None":
+    """The CLI's cache policy: ``--no-cache`` wins, then ``--cache-dir``,
+    then ``$REPRO_CACHE_DIR``, then ``~/.cache/repro``."""
+    if no_cache:
+        return None
+    return CompileCache(cache_dir or default_cache_dir())
+
+
+class CompileCache:
+    """A content-addressed store for pipeline-partition artifacts."""
+
+    def __init__(self, root: str | Path | None = None, *,
+                 max_bytes: int | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is None:
+            env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+            max_bytes = int(env) if env else _DEFAULT_MAX_BYTES
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+        self.evictions = 0
+
+    # -- paths ---------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.bin"
+
+    def _entries(self) -> list[Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return [path for path in objects.glob("*/*.bin") if path.is_file()]
+
+    # -- read ----------------------------------------------------------
+
+    def lookup(self, key: str):
+        """The stored artifact for ``key``, or None (miss or discarded)."""
+        path = self.entry_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        payload = self._verify(path, key, data)
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            artifact = pickle.loads(payload)
+        except Exception as exc:  # corrupt payload that passed the digest
+            self._discard(path, f"undeserializable payload ({exc})")
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU touch for eviction ordering
+        except OSError:
+            pass
+        return artifact
+
+    def _verify(self, path: Path, key: str, data: bytes) -> bytes | None:
+        from repro.cache.key import CACHE_SCHEMA_VERSION
+
+        newline = data.find(b"\n")
+        if newline < 0:
+            return self._discard(path, "missing envelope header")
+        try:
+            header = json.loads(data[:newline])
+        except ValueError:
+            return self._discard(path, "unparseable envelope header")
+        payload = data[newline + 1:]
+        if header.get("magic") != _MAGIC:
+            return self._discard(path, "wrong magic")
+        if header.get("schema") != CACHE_SCHEMA_VERSION:
+            return self._discard(
+                path, f"schema {header.get('schema')} != "
+                      f"{CACHE_SCHEMA_VERSION}")
+        if header.get("key") != key:
+            return self._discard(path, "entry stored under a different key")
+        if header.get("payload_bytes") != len(payload):
+            return self._discard(
+                path, f"truncated payload ({len(payload)} of "
+                      f"{header.get('payload_bytes')} bytes)")
+        digest = hashlib.sha256(payload).hexdigest()
+        if header.get("payload_sha256") != digest:
+            return self._discard(path, "payload digest mismatch")
+        return payload
+
+    def _discard(self, path: Path, reason: str) -> None:
+        self.corrupt += 1
+        warnings.warn(f"discarding corrupt cache entry {path}: {reason}",
+                      RuntimeWarning, stacklevel=4)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    # -- write ---------------------------------------------------------
+
+    def store(self, key: str, artifact) -> None:
+        """Serialize ``artifact`` under ``key`` (atomic, best-effort)."""
+        from repro.cache.key import CACHE_SCHEMA_VERSION
+        from repro import __version__
+
+        payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "magic": _MAGIC,
+            "schema": CACHE_SCHEMA_VERSION,
+            "repro": __version__,
+            "key": key,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+        }
+        blob = json.dumps(header, sort_keys=True).encode("utf-8") \
+            + b"\n" + payload
+        path = self.entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{key[:8]}.",
+                                        suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(temp, path)  # atomic: readers never see a torn file
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            warnings.warn(f"cache store failed for {path}: {exc}",
+                          RuntimeWarning, stacklevel=3)
+            return
+        self.stores += 1
+        self._prune(keep=path)
+
+    def _prune(self, keep: Path) -> None:
+        """Evict oldest-touched entries until the store fits max_bytes."""
+        if self.max_bytes <= 0:
+            return
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    # -- reporting -----------------------------------------------------
+
+    def counters(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+        }
+
+    def merge_counters(self, counters: dict) -> None:
+        """Fold counters reported by a worker process into this cache's."""
+        self.hits += counters.get("hits", 0)
+        self.misses += counters.get("misses", 0)
+        self.stores += counters.get("stores", 0)
+        self.corrupt += counters.get("corrupt", 0)
+        self.evictions += counters.get("evictions", 0)
+
+    def __repr__(self) -> str:
+        return (f"CompileCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")

@@ -14,14 +14,20 @@ Usage (also via ``python -m repro``)::
     repro trace file.ppc --pps NAME -d 4 \\
         -o trace.json                        # Chrome-trace of compile + run
     repro chaos [--app ipv4] [--plans ...]   # chaos differential check
+    repro chaos --sweep -j 4                 # parallel multi-app chaos sweep
     repro figures [--packets 60]             # regenerate the paper figures
-    repro bench [--quick] [-o FILE]          # performance regression harness
+    repro bench [--quick] [-j N] [-o FILE]   # performance regression harness
 
 PPS-C files conventionally use the ``.ppc`` extension.
 
+Partition results are memoized in a content-addressed artifact cache
+(``--cache-dir DIR``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+``--no-cache`` opts out) — see ``docs/caching.md``.
+
 Exit codes (see :mod:`repro.errors`): 0 success, 1 compile/pipeline/IO
-failure, 2 usage error (unknown PPS, malformed ``--feed`` or fault
-plan), 3 runtime failure (interpreter trap, deadlock/livelock).
+failure (including sweep worker crashes), 2 usage error (unknown PPS,
+malformed ``--feed`` or fault plan), 3 runtime failure (interpreter
+trap, deadlock/livelock).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import argparse
 import sys
 
 from repro.errors import DeadlockError, FaultPlanError, ReproError, TrapError
+from repro.eval.sweep import SweepError
 from repro.ir.function import Module
 from repro.ir.inline import inline_module
 from repro.ir.lowering import lower_program
@@ -108,6 +115,21 @@ def _write_dead_letters(path: str, state) -> None:
         handle.write("\n")
 
 
+def _add_cache_flags(parser) -> None:
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="compilation-artifact cache directory "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the compilation-artifact cache")
+
+
+def _open_cache(args):
+    """The ``--cache-dir`` / ``--no-cache`` policy for one subcommand."""
+    from repro.cache import resolve_cache
+
+    return resolve_cache(args.cache_dir, args.no_cache)
+
+
 # -- subcommands ------------------------------------------------------------
 
 
@@ -137,6 +159,7 @@ def cmd_pipeline(args) -> int:
         costs=_COST_MODELS[args.ring],
         epsilon=args.epsilon,
         strategy=Strategy(args.strategy),
+        cache=_open_cache(args),
     )
     print(f"{pps_name}: {args.degree} stages over {args.ring} rings "
           f"(epsilon={args.epsilon}, {args.strategy} transmission)")
@@ -202,8 +225,9 @@ def cmd_run(args) -> int:
           f"{stats.weight} weighted instructions")
 
     run_watchdog = seq_watchdog
+    cache = _open_cache(args) if args.degree > 1 else None
     if args.degree > 1:
-        result = pipeline_pps(module, pps_name, args.degree)
+        result = pipeline_pps(module, pps_name, args.degree, cache=cache)
         pipelined = fresh()
         run_watchdog = watchdog()
         run = run_pipeline(result.stages, pipelined, iterations=iterations,
@@ -241,8 +265,8 @@ def cmd_run(args) -> int:
     if args.profile:
         from repro.obs import runtime_report
 
-        print(runtime_report(run_stats, state,
-                             watchdog=run_watchdog).render())
+        print(runtime_report(run_stats, state, watchdog=run_watchdog,
+                             cache=cache).render())
     return 0
 
 
@@ -251,6 +275,15 @@ def cmd_chaos(args) -> int:
 
     from repro.eval.chaos import chaos_differential
     from repro.runtime.faults import builtin_plans
+
+    try:
+        degrees = tuple(int(d) for d in args.degrees.split(","))
+    except ValueError as exc:
+        raise CLIError(f"bad --degrees {args.degrees!r}: {exc}") from exc
+    cache = _open_cache(args)
+
+    if args.sweep:
+        return _chaos_sweep(args, degrees, cache)
 
     if args.plans:
         available = builtin_plans()
@@ -261,15 +294,11 @@ def cmd_chaos(args) -> int:
             plans[plan.name or spec] = plan
     else:
         plans = None
-    try:
-        degrees = tuple(int(d) for d in args.degrees.split(","))
-    except ValueError as exc:
-        raise CLIError(f"bad --degrees {args.degrees!r}: {exc}") from exc
 
     letters: list = []
     report = chaos_differential(args.app, plans=plans, degrees=degrees,
                                 packets=args.packets, seed=args.seed,
-                                collect_letters=letters)
+                                collect_letters=letters, cache=cache)
     print(report.render())
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -282,6 +311,68 @@ def cmd_chaos(args) -> int:
             handle.write("\n")
         print(f"wrote {args.dead_letters}")
     return 0 if report.ok else 1
+
+
+#: Apps with a stream/feed split — the ones the chaos sweep can drive.
+_CHAOS_SWEEP_APPS = ["ip_v4", "ip_v6", "ipv4", "rx"]
+
+
+def _chaos_sweep(args, degrees: tuple, cache) -> int:
+    """``repro chaos --sweep``: the multi-app differential, ``-j N``."""
+    import json
+
+    from repro.eval.sweep import chaos_tasks, run_sweep
+    from repro.runtime.faults import builtin_plans
+
+    apps = args.apps or list(_CHAOS_SWEEP_APPS)
+    plans = None
+    if args.plans:
+        available = builtin_plans()
+        unknown = [spec for spec in args.plans if spec not in available]
+        if unknown:
+            raise CLIError(
+                f"--sweep accepts builtin plan names only "
+                f"(unknown: {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(available))})")
+        plans = tuple(args.plans)
+
+    tasks = chaos_tasks(apps, degrees, packets=args.packets, seed=args.seed,
+                        plans=plans,
+                        cache_dir=str(cache.root) if cache else None)
+    results = run_sweep(tasks, jobs=args.jobs)
+
+    letters: list = []
+    ok = True
+    for result in results:
+        print(f"[seed {result['seed']}] {result['rendered']}")
+        ok = ok and result["ok"]
+        for letter in result["dead_letters"]:
+            letter = dict(letter)
+            letter["app"] = result["app"]
+            letters.append(letter)
+    print(f"sweep: {len(results)} apps x degrees "
+          f"{','.join(str(d) for d in degrees)} (-j {args.jobs}): "
+          f"{'ok' if ok else 'FAIL'}")
+
+    if args.output:
+        merged = {
+            "sweep": True,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "ok": ok,
+            "apps": {result["app"]: result["report"]
+                     for result in results},
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.dead_letters:
+        with open(args.dead_letters, "w", encoding="utf-8") as handle:
+            json.dump(letters, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.dead_letters}")
+    return 0 if ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -311,8 +402,9 @@ def cmd_trace(args) -> int:
             injector.absorb_stream(stream_injector)
         for pipe, values in feeds.items():
             state.feed_pipe(pipe, values)
+        cache = _open_cache(args) if args.degree > 1 else None
         if args.degree > 1:
-            result = pipeline_pps(module, pps_name, args.degree)
+            result = pipeline_pps(module, pps_name, args.degree, cache=cache)
             run = run_pipeline(result.stages, state,
                                iterations=args.iterations,
                                watchdog=watchdog,
@@ -324,7 +416,8 @@ def cmd_trace(args) -> int:
                                    watchdog=watchdog,
                                    isolate_traps=args.isolate_traps)
             run_stats = {pps_name: stats}
-        report = runtime_report(run_stats, state, watchdog=watchdog)
+        report = runtime_report(run_stats, state, watchdog=watchdog,
+                                cache=cache)
         emit_counter_events(tracer, report)
     tracer.write(args.output)
     spans = sum(1 for e in tracer.events if e.get("ph") == "X")
@@ -348,7 +441,8 @@ def cmd_figures(args) -> int:
     )
     from repro.eval.report import render_figure
 
-    config = ExperimentConfig(packets=args.packets)
+    config = ExperimentConfig(packets=args.packets,
+                              cache=_open_cache(args))
     print(render_figure("Figure 19: speedup, IPv4 forwarding PPSes",
                         figure19(config)))
     print()
@@ -369,19 +463,25 @@ def cmd_figures(args) -> int:
 
 def cmd_bench(args) -> int:
     import json
+    import os
 
     from repro.eval.metrics import bench_headline
 
     degrees = list(range(1, 5)) if args.quick else None
     result = bench_headline(packets=args.packets,
                             degrees=degrees,
-                            measure_reference=not args.no_reference)
+                            measure_reference=not args.no_reference,
+                            jobs=args.jobs,
+                            cache=_open_cache(args))
+    parent = os.path.dirname(args.output)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2)
         handle.write("\n")
 
     print(f"bench: packets={args.packets} "
-          f"degrees={result['config']['degrees']}")
+          f"degrees={result['config']['degrees']} jobs={args.jobs}")
     print(f"  build     {result['build_seconds']:8.3f}s")
     print(f"  partition {result['partition_seconds']:8.3f}s")
     print(f"  compile   {result['compile_seconds']:8.3f}s")
@@ -396,6 +496,11 @@ def cmd_bench(args) -> int:
             print(f"    reference interpreter: "
                   f"{entry['reference_wall_seconds']:.3f}s "
                   f"-> {entry['speedup_vs_reference']:.2f}x speedup")
+    if "cache" in result:
+        counters = result["cache"]
+        print(f"  cache     {counters['hits']} hits, "
+              f"{counters['misses']} misses, {counters['stores']} stores, "
+              f"{counters['evictions']} evicted")
     print(f"wrote {args.output}")
     return 0
 
@@ -428,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=[s.value for s in Strategy])
     p_pipe.add_argument("--emit", action="store_true",
                         help="print the realized stage IR")
+    _add_cache_flags(p_pipe)
     p_pipe.set_defaults(func=cmd_pipeline)
 
     p_run = sub.add_parser("run", help="execute on the simulator")
@@ -449,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="quarantine trapped packets instead of aborting")
     p_run.add_argument("--dead-letters", metavar="FILE",
                        help="write quarantined-packet records as JSON")
+    _add_cache_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_chaos = sub.add_parser(
@@ -466,6 +573,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the chaos report as JSON")
     p_chaos.add_argument("--dead-letters", metavar="FILE",
                          help="write all dead-letter records as JSON")
+    p_chaos.add_argument("--sweep", action="store_true",
+                         help="run the differential for several apps "
+                              "(see --apps) instead of one")
+    p_chaos.add_argument("--apps", nargs="*",
+                         help="apps for --sweep (default: every "
+                              "stream-driven app)")
+    p_chaos.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes for --sweep (default: 1)")
+    _add_cache_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_trace = sub.add_parser(
@@ -487,20 +603,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="quarantine trapped packets instead of "
                               "aborting")
     p_trace.add_argument("-o", "--output", default="trace.json")
+    _add_cache_flags(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
     p_fig = sub.add_parser("figures", help="regenerate the paper's figures")
     p_fig.add_argument("--packets", type=int, default=60)
+    _add_cache_flags(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
     p_bench = sub.add_parser(
         "bench", help="run the performance regression harness")
     p_bench.add_argument("--packets", type=int, default=60)
-    p_bench.add_argument("-o", "--output", default="BENCH_headline.json")
+    p_bench.add_argument("-o", "--output",
+                         default="bench-out/BENCH_headline.json",
+                         help="report path (default: "
+                              "bench-out/BENCH_headline.json; the "
+                              "committed baseline stays untouched)")
     p_bench.add_argument("--quick", action="store_true",
                          help="small degree sweep (1-4) for smoke runs")
     p_bench.add_argument("--no-reference", action="store_true",
                          help="skip the reference-interpreter 'before' run")
+    p_bench.add_argument("-j", "--jobs", type=int, default=1,
+                         help="fan (figure, app) sweep cells over N worker "
+                              "processes")
+    _add_cache_flags(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     return parser
@@ -514,7 +640,7 @@ def main(argv: list[str] | None = None) -> int:
     except (CLIError, FaultPlanError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except (FrontendError, PipelineError) as exc:
+    except (FrontendError, PipelineError, SweepError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except DeadlockError as exc:

@@ -131,12 +131,15 @@ def chaos_differential(app_name: str = "ipv4", *,
                        degrees: tuple = DEFAULT_DEGREES,
                        packets: int = 40, seed: int = 7,
                        watchdog_quantum: int | None = 200_000,
-                       collect_letters: list | None = None) -> ChaosReport:
+                       collect_letters: list | None = None,
+                       cache=None) -> ChaosReport:
     """Run the chaos differential for ``app_name`` across fault plans.
 
     ``collect_letters``, when given, receives every dead-letter record
     (as dicts, tagged with plan and degree) — the CI job uploads them as
-    an artifact on failure.
+    an artifact on failure.  ``cache`` (a
+    :class:`repro.cache.CompileCache`) memoizes the per-degree partition,
+    which every plan otherwise recomputes.
     """
     if plans is None:
         plans = builtin_plans()
@@ -149,13 +152,13 @@ def chaos_differential(app_name: str = "ipv4", *,
         report.outcomes.append(_run_plan(
             app, plan_name, plan, degrees=degrees,
             watchdog_quantum=watchdog_quantum,
-            collect_letters=collect_letters))
+            collect_letters=collect_letters, cache=cache))
     return report
 
 
 def _run_plan(app, plan_name: str, plan: FaultPlan, *, degrees: tuple,
               watchdog_quantum: int | None,
-              collect_letters: list | None) -> PlanOutcome:
+              collect_letters: list | None, cache=None) -> PlanOutcome:
     # Perturb the stream ONCE; every run below shares it.
     stream_injector = FaultInjector(plan)
     stream = stream_injector.perturb(app.pps_name, app.stream())
@@ -177,7 +180,7 @@ def _run_plan(app, plan_name: str, plan: FaultPlan, *, degrees: tuple,
     _collect(collect_letters, baseline_state, plan_name, degree=0)
 
     for degree in degrees:
-        result = pipeline_pps(app.module, app.pps_name, degree)
+        result = pipeline_pps(app.module, app.pps_name, degree, cache=cache)
         state, iterations = _armed_state(app, plan, stream)
         run = run_pipeline(result.stages, state, iterations=iterations,
                            watchdog=Watchdog(watchdog_quantum),

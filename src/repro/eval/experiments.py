@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.cfg import cfg_of, find_pps_loop
-from repro.analysis.graph import Digraph, strongly_connected_components
+from repro.analysis.graph import strongly_connected_components
 from repro.apps.suite import build_app
 from repro.eval.metrics import measure_pipeline, measure_sequential
 from repro.machine.costs import NN_RING, CostModel
@@ -42,6 +42,8 @@ class ExperimentConfig:
     costs: CostModel = NN_RING
     strategy: Strategy = Strategy.PACKED
     check_equivalence: bool = True
+    #: Optional :class:`repro.cache.CompileCache` memoizing partitions.
+    cache: object = None
 
     def __post_init__(self):
         if self.degrees is None:
@@ -61,6 +63,7 @@ def speedup_series(app_name: str, config: ExperimentConfig | None = None,
             app, degree, baseline=baseline, costs=config.costs,
             strategy=config.strategy,
             check_equivalence=config.check_equivalence,
+            cache=config.cache,
         )
         if metric == "speedup":
             series[degree] = measurement.speedup
@@ -107,6 +110,7 @@ def headline_speedups(config: ExperimentConfig | None = None) -> dict[str, float
             packets=config.packets, seed=config.seed, degrees=[9],
             costs=config.costs, strategy=config.strategy,
             check_equivalence=config.check_equivalence,
+            cache=config.cache,
         ))
         result[name] = series[9]
     return result

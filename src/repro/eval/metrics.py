@@ -118,11 +118,14 @@ def measure_pipeline(app: AppInstance, degree: int, *,
                      interference: str = "exact",
                      check_equivalence: bool = True,
                      use_profiles: bool = True,
-                     transform: PipelineResult | None = None) -> PipelineMeasurement:
+                     transform: PipelineResult | None = None,
+                     cache=None) -> PipelineMeasurement:
     """Pipeline ``app`` at ``degree`` and measure the paper's metrics.
 
     ``use_profiles`` activates profile-dimensioned balancing for apps that
-    declare multiple traffic classes (the combined IP PPS).
+    declare multiple traffic classes (the combined IP PPS).  ``cache``
+    (a :class:`repro.cache.CompileCache`) memoizes the partition when
+    ``transform`` is not supplied.
     """
     if baseline is None:
         baseline = measure_sequential(app)
@@ -141,7 +144,7 @@ def measure_pipeline(app: AppInstance, degree: int, *,
                                  costs=costs, strategy=strategy,
                                  epsilon=epsilon, incremental=incremental,
                                  interference=interference,
-                                 profiler=profiler)
+                                 profiler=profiler, cache=cache)
     state, iterations = app.fresh_state()
     run = run_pipeline(transform.stages, state, iterations=iterations)
 
@@ -241,7 +244,8 @@ def measure_replication(app: AppInstance, ways: int, *,
 
 def bench_headline(*, packets: int = 60, seed: int = 7,
                    degrees: list[int] | None = None,
-                   measure_reference: bool = True) -> dict:
+                   measure_reference: bool = True,
+                   jobs: int = 1, cache=None) -> dict:
     """Run the headline performance benchmark (``repro bench``).
 
     Times the Figure 19/20 degree sweeps end to end, separating the three
@@ -256,8 +260,16 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
       reference interpreter + polling scheduler to record the "before"
       number the speedup is judged against.
 
+    ``cache`` (a :class:`repro.cache.CompileCache`) memoizes every
+    partition by content address; its hit/miss counters land in the
+    result's ``cache`` section.  ``jobs > 1`` fans the per-(figure, app)
+    cells over a process pool (:mod:`repro.eval.sweep`); phase seconds
+    then aggregate worker CPU time while ``phase_seconds["sweep"]`` holds
+    the parallel region's wall clock.  The speedup series are
+    deterministic and identical under any ``jobs`` level.
+
     Returns a JSON-serializable dict; ``repro bench`` writes it to
-    ``BENCH_headline.json``.
+    ``bench-out/BENCH_headline.json``.
     """
     import gc
     import sys
@@ -272,6 +284,12 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
     degrees = sorted(set(degrees)) if degrees else list(range(1, 10))
     figure_apps = {"figure19": list(FIGURE19_APPS),
                    "figure20": list(FIGURE20_APPS)}
+
+    if jobs > 1:
+        return _bench_headline_parallel(
+            packets=packets, seed=seed, degrees=degrees,
+            measure_reference=measure_reference, jobs=jobs, cache=cache,
+            figure_apps=figure_apps)
 
     # Phase wall clocks; each phase also shows up as a span when the bench
     # runs under an active repro.obs tracer.
@@ -294,7 +312,8 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
                         app.module, app.pps_name, degree,
                         costs=NN_RING, strategy=Strategy.PACKED,
                         epsilon=1.0 / 16.0, incremental=True,
-                        interference="exact", profiler=profiler)
+                        interference="exact", profiler=profiler,
+                        cache=cache)
 
     # Threaded-code compilation, measured cold (it is otherwise amortized
     # into the first simulation of each function).
@@ -369,11 +388,12 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
             if top in app_series:
                 headline[name] = app_series[top]
 
-    return {
+    result = {
         "config": {
             "packets": packets,
             "seed": seed,
             "degrees": degrees,
+            "jobs": jobs,
             "python": sys.version.split()[0],
         },
         "build_seconds": round(phases["build"], 4),
@@ -384,3 +404,99 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
         "figures": figures,
         f"headline_speedup_degree{top}": headline,
     }
+    if cache is not None:
+        result["cache"] = cache.counters()
+    return result
+
+
+def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
+                             measure_reference: bool, jobs: int, cache,
+                             figure_apps: dict) -> dict:
+    """The ``jobs > 1`` bench path: one sweep task per (figure, app)."""
+    import sys
+
+    from repro.eval.sweep import bench_tasks, run_sweep
+    from repro.obs import PhaseTimer
+
+    cache_dir = str(cache.root) if cache is not None else None
+    tasks = []
+    for figure, names in figure_apps.items():
+        tasks.extend(bench_tasks(names, degrees, packets=packets, seed=seed,
+                                 cache_dir=cache_dir, label=figure))
+    if measure_reference:
+        tasks.extend(bench_tasks(figure_apps["figure19"], degrees,
+                                 packets=packets, seed=seed,
+                                 cache_dir=cache_dir, reference=True,
+                                 label="figure19:reference"))
+
+    phases = PhaseTimer()
+    with phases.phase("sweep", jobs=jobs, tasks=len(tasks)):
+        results = run_sweep(tasks, jobs=jobs)
+
+    by_label: dict[str, list[dict]] = {}
+    for entry in results:
+        by_label.setdefault(entry["label"], []).append(entry)
+
+    def aggregate(entries: list[dict], phase: str) -> float:
+        return sum(entry["timing"][phase] for entry in entries)
+
+    figures: dict[str, dict] = {}
+    for figure, names in figure_apps.items():
+        entries = by_label[figure]
+        wall = aggregate(entries, "simulate_seconds")
+        instructions = sum(entry["simulated_instructions"]
+                           for entry in entries)
+        entry = {
+            "apps": names,
+            "wall_seconds": round(wall, 4),
+            "simulated_instructions": instructions,
+            "instructions_per_second": (round(instructions / wall)
+                                        if wall else None),
+            "speedup_by_degree": {result["app"]: result["speedup_by_degree"]
+                                  for result in entries},
+        }
+        if measure_reference and figure == "figure19":
+            reference = by_label["figure19:reference"]
+            ref_wall = aggregate(reference, "simulate_seconds")
+            entry["reference_wall_seconds"] = round(ref_wall, 4)
+            entry["speedup_vs_reference"] = (round(ref_wall / wall, 2)
+                                             if wall else None)
+        figures[figure] = entry
+
+    top = max(degrees)
+    headline = {}
+    for figure, entry in figures.items():
+        for name, app_series in entry["speedup_by_degree"].items():
+            if top in app_series:
+                headline[name] = app_series[top]
+
+    if cache is not None:
+        for entry in results:
+            if entry.get("cache"):
+                cache.merge_counters(entry["cache"])
+
+    result = {
+        "config": {
+            "packets": packets,
+            "seed": seed,
+            "degrees": degrees,
+            "jobs": jobs,
+            "python": sys.version.split()[0],
+        },
+        "build_seconds": round(aggregate(results, "build_seconds"), 4),
+        "partition_seconds": round(aggregate(results, "partition_seconds"),
+                                   4),
+        "compile_seconds": round(aggregate(results, "compile_seconds"), 4),
+        "phase_seconds": {
+            "sweep": round(phases["sweep"], 4),
+            "build": round(aggregate(results, "build_seconds"), 4),
+            "partition": round(aggregate(results, "partition_seconds"), 4),
+            "compile": round(aggregate(results, "compile_seconds"), 4),
+            "simulate": round(aggregate(results, "simulate_seconds"), 4),
+        },
+        "figures": figures,
+        f"headline_speedup_degree{top}": headline,
+    }
+    if cache is not None:
+        result["cache"] = cache.counters()
+    return result

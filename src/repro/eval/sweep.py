@@ -1,0 +1,277 @@
+"""Parallel sweep runner: fan (app, degree) measurements over processes.
+
+Fig-19-style sweeps re-partition the same four NPF apps over and over;
+each (app, D) cell is independent, deterministic given its seed, and
+dominated by the balanced-cut search — an embarrassingly parallel
+workload.  :func:`run_sweep` executes :class:`SweepTask` cells on a
+``concurrent.futures.ProcessPoolExecutor`` (``-j N`` on the CLI) with:
+
+* **deterministic merge** — results are returned in *task order* (the
+  builders emit tasks ordered by (app, D)) no matter which worker
+  finishes first, so ``-j 4`` output is byte-identical to ``-j 1``
+  modulo the explicitly nondeterministic ``timing`` / ``cache`` fields
+  (strip them with :func:`deterministic_view`);
+* **per-task seed threading** — :func:`derive_seed` gives every cell a
+  stable seed derived from the base seed and the cell identity, so
+  chaos sweeps stay reproducible under any parallelism;
+* **structured failure** — a worker exception or a hard worker crash
+  (OOM-killed, segfault) surfaces as :class:`SweepError` (a
+  :class:`~repro.errors.ReproError`, CLI exit 1), never a hang;
+* **shared artifact cache** — workers open the same on-disk
+  :class:`~repro.cache.CompileCache` (atomic writes make racing safe),
+  so repeated cells cost one partition across the whole sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class SweepError(ReproError):
+    """A sweep task failed or its worker process died."""
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One self-contained sweep cell, picklable for worker dispatch."""
+
+    kind: str                       # "bench" | "chaos"
+    app: str
+    degrees: tuple                  # pipeline degrees to measure
+    packets: int
+    seed: int
+    reference: bool = False         # bench: use the reference interpreter
+    plans: tuple | None = None      # chaos: builtin plan names (None = all)
+    cache_dir: str | None = None    # shared CompileCache root
+    label: str | None = None        # grouping tag (e.g. figure name)
+
+    def describe(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        ref = " (reference)" if self.reference else ""
+        return (f"{self.kind} {self.app} D={','.join(map(str, self.degrees))}"
+                f"{ref}{tag}")
+
+
+def derive_seed(base: int, *parts) -> int:
+    """A stable per-task seed from the base seed and the task identity.
+
+    Pure function of its arguments (no global RNG state), so a sweep is
+    reproducible regardless of worker scheduling or ``-j`` level.
+    """
+    text = ":".join([str(base), *(str(part) for part in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+# -- task builders ----------------------------------------------------------
+
+
+def bench_tasks(apps: list[str], degrees: list[int], *, packets: int,
+                seed: int, cache_dir: str | None = None,
+                reference: bool = False,
+                label: str | None = None) -> list[SweepTask]:
+    """Bench cells ordered by app (each cell covers all its degrees)."""
+    return [SweepTask(kind="bench", app=app, degrees=tuple(degrees),
+                      packets=packets, seed=seed, reference=reference,
+                      cache_dir=cache_dir, label=label)
+            for app in apps]
+
+
+def chaos_tasks(apps: list[str], degrees: tuple, *, packets: int, seed: int,
+                plans: tuple | None = None,
+                cache_dir: str | None = None) -> list[SweepTask]:
+    """Chaos cells ordered by app, each with its own derived seed."""
+    return [SweepTask(kind="chaos", app=app, degrees=tuple(degrees),
+                      packets=packets, seed=derive_seed(seed, "chaos", app),
+                      plans=plans, cache_dir=cache_dir)
+            for app in sorted(apps)]
+
+
+# -- workers ----------------------------------------------------------------
+
+
+def _open_cache(task: SweepTask):
+    if task.cache_dir is None:
+        return None
+    from repro.cache import CompileCache
+
+    return CompileCache(task.cache_dir)
+
+
+def _execute(task: SweepTask) -> dict:
+    """Run one cell; module-level so the pool can pickle it by name."""
+    if task.kind == "bench":
+        return _execute_bench(task)
+    if task.kind == "chaos":
+        return _execute_chaos(task)
+    raise SweepError(f"unknown sweep task kind {task.kind!r}")
+
+
+def _execute_bench(task: SweepTask) -> dict:
+    from time import perf_counter
+
+    from repro.apps.suite import build_app
+    from repro.eval.metrics import (
+        make_profiler,
+        measure_pipeline,
+        measure_sequential,
+    )
+    from repro.pipeline.transform import pipeline_pps
+    from repro.runtime.compile import compile_function
+    from repro.runtime.mode import reference_mode
+
+    cache = _open_cache(task)
+    start = perf_counter()
+    app = build_app(task.app, packets=task.packets, seed=task.seed)
+    build_seconds = perf_counter() - start
+
+    profiler = make_profiler(app)
+    start = perf_counter()
+    transforms = {
+        degree: pipeline_pps(app.module, app.pps_name, degree,
+                             profiler=profiler, cache=cache)
+        for degree in task.degrees if degree > 1
+    }
+    partition_seconds = perf_counter() - start
+
+    start = perf_counter()
+    for transform in transforms.values():
+        for stage in transform.stages:
+            compile_function(stage.function)
+    compile_function(app.module.pps(app.pps_name))
+    compile_seconds = perf_counter() - start
+
+    instructions = 0
+    series: dict[int, float] = {}
+    start = perf_counter()
+    with reference_mode(task.reference):
+        baseline = measure_sequential(app)
+        instructions += baseline.total_instructions
+        for degree in sorted(task.degrees):
+            if degree == 1:
+                series[1] = 1.0
+                continue
+            measured = measure_pipeline(app, degree, baseline=baseline,
+                                        transform=transforms[degree])
+            instructions += measured.total_instructions
+            series[degree] = round(measured.speedup, 4)
+    simulate_seconds = perf_counter() - start
+
+    return {
+        "kind": "bench",
+        "app": task.app,
+        "label": task.label,
+        "reference": task.reference,
+        "seed": task.seed,
+        "degrees": sorted(task.degrees),
+        "speedup_by_degree": series,
+        "simulated_instructions": instructions,
+        "timing": {
+            "build_seconds": build_seconds,
+            "partition_seconds": partition_seconds,
+            "compile_seconds": compile_seconds,
+            "simulate_seconds": simulate_seconds,
+        },
+        "cache": cache.counters() if cache is not None else None,
+    }
+
+
+def _execute_chaos(task: SweepTask) -> dict:
+    from time import perf_counter
+
+    from repro.eval.chaos import chaos_differential
+    from repro.runtime.faults import builtin_plans
+
+    cache = _open_cache(task)
+    plans = None
+    if task.plans is not None:
+        available = builtin_plans()
+        unknown = [name for name in task.plans if name not in available]
+        if unknown:
+            raise SweepError(f"unknown builtin fault plans: "
+                             f"{', '.join(unknown)}")
+        plans = {name: available[name] for name in task.plans}
+    letters: list = []
+    start = perf_counter()
+    report = chaos_differential(task.app, plans=plans,
+                                degrees=tuple(task.degrees),
+                                packets=task.packets, seed=task.seed,
+                                collect_letters=letters, cache=cache)
+    wall = perf_counter() - start
+    return {
+        "kind": "chaos",
+        "app": task.app,
+        "seed": task.seed,
+        "ok": report.ok,
+        "report": report.as_dict(),
+        "dead_letters": letters,
+        "rendered": report.render(),
+        "timing": {"wall_seconds": wall},
+        "cache": cache.counters() if cache is not None else None,
+    }
+
+
+# -- the runner -------------------------------------------------------------
+
+
+def run_sweep(tasks, *, jobs: int = 1, worker=None) -> list[dict]:
+    """Execute every task; results come back in *task order*.
+
+    ``jobs <= 1`` runs inline through the exact same worker function, so
+    the parallel path cannot diverge from the sequential one.  ``worker``
+    is a test seam (must be a picklable module-level callable).
+    """
+    tasks = list(tasks)
+    worker = worker or _execute
+    if jobs <= 1:
+        return [_guarded(worker, task) for task in tasks]
+
+    results: list = [None] * len(tasks)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(worker, task): index
+                       for index, task in enumerate(tasks)}
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as exc:
+                    raise SweepError(
+                        f"sweep worker process died while running "
+                        f"{tasks[index].describe()} (killed or crashed); "
+                        f"re-run with -j 1 to reproduce inline") from exc
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise SweepError(
+                        f"sweep task {tasks[index].describe()} failed: "
+                        f"{exc}") from exc
+    except BrokenProcessPool as exc:
+        raise SweepError(
+            "sweep worker pool broke before all tasks completed "
+            "(a worker was killed or crashed); re-run with -j 1 to "
+            "reproduce inline") from exc
+    return results
+
+
+def _guarded(worker, task: SweepTask) -> dict:
+    try:
+        return worker(task)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise SweepError(f"sweep task {task.describe()} failed: "
+                         f"{exc}") from exc
+
+
+def deterministic_view(results: list[dict]) -> list[dict]:
+    """Results with the nondeterministic fields (wall-clock timing,
+    cache hit patterns) stripped — the byte-identical part of a sweep."""
+    return [{key: value for key, value in result.items()
+             if key not in ("timing", "cache")}
+            for result in results]

@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 
 from repro.analysis.dependence_graph import DepKind, LoopDependenceModel
 from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
-from repro.machine.costs import CostModel
 from repro.ir.values import VReg
+from repro.machine.costs import CostModel
 
 SOURCE = ("source",)
 SINK = ("sink",)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.flownet.network import INFINITE_CAPACITY, FlowNetwork
+from repro.flownet.network import FlowNetwork
 
 
 class PushRelabel:

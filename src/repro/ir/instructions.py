@@ -18,9 +18,9 @@ Each instruction exposes uniform ``uses()`` / ``defs()`` accessors plus
 
 from __future__ import annotations
 
+from repro.ir.values import ArrayRef, PipeRef, RegionRef, Value, VReg
 from repro.lang.errors import UNKNOWN_LOCATION, SourceLocation
 from repro.lang.intrinsics import INTRINSICS, is_intrinsic
-from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef, Value, VReg
 
 
 class Instruction:

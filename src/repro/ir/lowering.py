@@ -21,14 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.lang import ast
-from repro.lang.errors import SemanticError
-from repro.lang.intrinsics import (
-    PIPE_ARG_INTRINSICS,
-    REGION_ARG_INTRINSICS,
-    is_intrinsic,
-)
-from repro.lang.sema import is_infinite_loop
 from repro.ir.function import BasicBlock, Function, Module
 from repro.ir.instructions import (
     ArrayLoad,
@@ -43,6 +35,14 @@ from repro.ir.instructions import (
     UnOp,
 )
 from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef, Value, VReg
+from repro.lang import ast
+from repro.lang.errors import SemanticError
+from repro.lang.intrinsics import (
+    PIPE_ARG_INTRINSICS,
+    REGION_ARG_INTRINSICS,
+    is_intrinsic,
+)
+from repro.lang.sema import is_infinite_loop
 
 
 @dataclass

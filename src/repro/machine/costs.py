@@ -24,6 +24,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Version of the built-in cost tables below.  The compile cache keys on
+#: it (together with the concrete field values), so bump it whenever the
+#: *meaning* of a cost parameter changes even if the numbers do not.
+COST_TABLE_VERSION = 1
+
 
 @dataclass(frozen=True)
 class CostModel:

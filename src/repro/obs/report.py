@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.obs.tracer import TID_RUNTIME, Tracer
+from repro.obs.tracer import TID_COMPILE, TID_RUNTIME, Tracer
 from repro.runtime.state import MachineState
 
 
@@ -61,6 +61,9 @@ class RuntimeReport:
     faults: dict | None = None
     watchdog: dict | None = None
     dead_letters: list = field(default_factory=list)
+    #: Compile-cache counters (hits/misses/stores/corrupt/evictions) —
+    #: populated only when the run compiled through a CompileCache.
+    cache: dict | None = None
 
     def as_dict(self) -> dict:
         result = {
@@ -80,6 +83,8 @@ class RuntimeReport:
         if self.dead_letters:
             result["dead_letters"] = [letter.as_dict()
                                       for letter in self.dead_letters]
+        if self.cache is not None:
+            result["cache"] = dict(self.cache)
         return result
 
     def render(self) -> str:
@@ -123,16 +128,25 @@ class RuntimeReport:
                 lines.append(
                     f"    {letter.stage} iter {letter.iteration} "
                     f"block {letter.last_block}: {letter.detail}")
+        if self.cache is not None:
+            lines.append(
+                f"  compile cache: {self.cache.get('hits', 0)} hits, "
+                f"{self.cache.get('misses', 0)} misses, "
+                f"{self.cache.get('stores', 0)} stores, "
+                f"{self.cache.get('evictions', 0)} evicted, "
+                f"{self.cache.get('corrupt', 0)} corrupt")
         return "\n".join(lines)
 
 
 def runtime_report(stats: dict, state: MachineState, *,
-                   watchdog=None) -> RuntimeReport:
+                   watchdog=None, cache=None) -> RuntimeReport:
     """Assemble the report for one finished run.
 
     ``stats`` maps interpreter name -> ``InterpStats`` (e.g.
     ``RunResult.stats``); ``state`` is the machine the run executed on;
-    ``watchdog`` optionally contributes its check counters.
+    ``watchdog`` optionally contributes its check counters; ``cache``
+    (a :class:`repro.cache.CompileCache`) contributes hit/miss/evict
+    counters when compilation went through the artifact cache.
     """
     report = RuntimeReport()
     for name in sorted(stats):
@@ -167,6 +181,8 @@ def runtime_report(stats: dict, state: MachineState, *,
     if watchdog is not None:
         report.watchdog = watchdog.as_dict()
     report.dead_letters = list(getattr(state, "dead_letters", ()))
+    if cache is not None:
+        report.cache = cache.counters()
     return report
 
 
@@ -203,6 +219,11 @@ def emit_counter_events(tracer: Tracer, report: RuntimeReport) -> None:
             key: value for key, value in report.watchdog.items()
             if isinstance(value, int)
         }, cat="scheduler", tid=TID_RUNTIME)
+    if report.cache is not None:
+        tracer.counter("compile_cache", {
+            key: value for key, value in report.cache.items()
+            if isinstance(value, int)
+        }, cat="cache", tid=TID_COMPILE)
     for letter in report.dead_letters:
         tracer.instant(f"dead_letter {letter.stage}", cat="faults",
                        tid=TID_RUNTIME, **letter.as_dict())

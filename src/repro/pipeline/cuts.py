@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.dependence_graph import LoopDependenceModel
-from repro.flownet.balanced_cut import BalancedCut, BalancedCutResult
+from repro.flownet.balanced_cut import BalancedCut
 from repro.flownet.model import build_cut_network
 from repro.machine.costs import NN_RING, CostModel
 from repro.obs import tracer as obs

@@ -28,7 +28,7 @@ locally.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.liveness import Liveness
 from repro.ir.function import Function

@@ -232,7 +232,6 @@ def _loop_carried_roots(source: Function, loop) -> list[VReg]:
     ssa = clone_function(source)
     construct_ssa(ssa)
     ssa_loop = find_pps_loop(ssa)
-    body = set(ssa_loop.body)
     defined_in_body: set[VReg] = set()
     for name in ssa_loop.body:
         for inst in ssa.block(name).all_instructions():

@@ -18,16 +18,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
 from repro.analysis.cfg import PpsLoop, find_pps_loop, split_large_blocks
 from repro.analysis.dependence_graph import LoopDependenceModel
-from repro.lang.intrinsics import Effect, get_intrinsic
-from repro.obs import tracer as obs
+from repro.errors import ReproError
 from repro.ir.clone import clone_function
 from repro.ir.function import Function, Module
 from repro.ir.instructions import Call
 from repro.ir.verify import verify_function
+from repro.lang.intrinsics import Effect, get_intrinsic
 from repro.machine.costs import NN_RING, CostModel
+from repro.obs import tracer as obs
 from repro.pipeline.cuts import StageAssignment, select_stages
 from repro.pipeline.liveset import CutLayout, Strategy, compute_cut_layouts
 from repro.pipeline.realize import StageProgram, realize_stages
@@ -68,7 +68,8 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
                  interference: str = "exact",
                  max_block_instructions: int = 12,
                  profiler=None,
-                 cut_strategy=None) -> PipelineResult:
+                 cut_strategy=None,
+                 cache=None) -> PipelineResult:
     """Partition PPS ``pps_name`` into a ``degree``-stage pipeline.
 
     ``profiler`` (optional) is called with the normalized (block-split)
@@ -79,6 +80,14 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
     ``cut_strategy`` (optional) replaces the balanced-min-cut stage
     selection with a custom ``(model, degree) -> StageAssignment`` — used
     by the baseline-partitioner ablations.
+
+    ``cache`` (optional) is a :class:`repro.cache.CompileCache`; the
+    partition result is looked up / stored by content address, keyed on
+    the canonical PPS text, ``degree``, the cost table, and every
+    partitioner knob (including the profiler's output).  A hit skips the
+    SSA / dependence / balanced-cut / layout / realize phases entirely
+    and is bit-identical to a fresh compile.  ``cut_strategy`` bypasses
+    the cache (a callback is not content-addressable).
     """
     if pps_name not in module.ppses:
         raise PipelineError(f"unknown pps {pps_name!r}")
@@ -95,6 +104,30 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
             loop = find_pps_loop(work)
             _check_prologue(work, loop)
 
+        if profiler is not None:
+            with obs.span("profile", cat="compile", pps=pps_name):
+                profiles = profiler(work)
+        else:
+            profiles = None
+
+        key = None
+        if cache is not None and cut_strategy is None:
+            from repro.cache import compile_key
+
+            key = compile_key(module, pps_name, degree, costs=costs,
+                              epsilon=epsilon, strategy=strategy,
+                              incremental=incremental,
+                              interference=interference,
+                              max_block_instructions=max_block_instructions,
+                              profiles=profiles)
+            cached = cache.lookup(key)
+            obs.instant("cache_lookup", cat="cache", pps=pps_name,
+                        degree=degree, key=key[:16],
+                        outcome="hit" if cached is not None else "miss")
+            if cached is not None:
+                _register_stage_pipes(module, cached)
+                return cached
+
         with obs.span("ssa_construct", cat="compile", pps=pps_name):
             ssa = clone_function(work)
             construct_ssa(ssa)
@@ -102,11 +135,6 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
         with obs.span("dependence_graph", cat="compile", pps=pps_name):
             model = LoopDependenceModel(ssa, ssa_loop)
 
-        if profiler is not None:
-            with obs.span("profile", cat="compile", pps=pps_name):
-                profiles = profiler(work)
-        else:
-            profiles = None
         with obs.span("select_stages", cat="compile", pps=pps_name,
                       degree=degree):
             if cut_strategy is not None:
@@ -132,7 +160,7 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
         with obs.span("verify", cat="compile", pps=pps_name):
             for stage in stages:
                 verify_function(stage.function)
-    return PipelineResult(
+    result = PipelineResult(
         pps_name=pps_name,
         degree=degree,
         stages=stages,
@@ -144,6 +172,20 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
         normalized=work,
         loop=loop,
     )
+    if key is not None:
+        cache.store(key, result)
+    return result
+
+
+def _register_stage_pipes(module: Module, result: PipelineResult) -> None:
+    """Replicate :func:`realize_stages`' only module side effect for a
+    cache-restored result: register the inter-stage pipes."""
+    from repro.ir.values import PipeRef
+
+    for stage in result.stages:
+        for ref in (stage.in_pipe, stage.out_pipe):
+            if ref is not None:
+                module.pipes.setdefault(ref.name, PipeRef(ref.name))
 
 
 def _check_inlined(function: Function) -> None:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import weakref
 
+from repro.errors import TrapError
 from repro.ir.function import Function
 from repro.ir.instructions import (
     ArrayLoad,
@@ -56,7 +57,6 @@ from repro.ir.instructions import (
 )
 from repro.ir.types import binary_func, unary_func, wrap32
 from repro.ir.values import Const, PipeRef, RegionRef, VReg
-from repro.errors import TrapError
 
 
 class CompiledBlock:

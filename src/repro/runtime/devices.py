@@ -17,8 +17,8 @@ Transmitted mpackets are committed with a status word of the same shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from collections import deque
+from dataclasses import dataclass
 
 from repro.errors import TrapError
 

@@ -28,7 +28,7 @@ stalled pipeline resumes deterministically instead of hanging.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fnmatch import fnmatch
 from random import Random
 

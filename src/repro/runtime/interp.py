@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.errors import TrapError
 from repro.ir.function import Function
 from repro.ir.instructions import (
     ArrayLoad,
@@ -49,7 +50,6 @@ from repro.ir.types import eval_binary, eval_unary, wrap32
 from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef, Value, VReg
 from repro.runtime import mode
 from repro.runtime.compile import compile_function
-from repro.errors import TrapError
 from repro.runtime.state import MachineState
 
 

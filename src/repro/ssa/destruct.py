@@ -17,8 +17,7 @@ sidesteps the lost-copy and swap problems without a coalescing phase.
 from __future__ import annotations
 
 from repro.ir.function import Function, split_edge
-from repro.ir.instructions import Assign, Phi
-from repro.ir.values import VReg
+from repro.ir.instructions import Assign
 
 
 def split_critical_edges(function: Function) -> int:

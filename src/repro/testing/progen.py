@@ -16,7 +16,7 @@ constant bound, and division/modulo operands are guarded.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -1,7 +1,5 @@
 """Tests for CFG views, PPS-loop discovery, and block splitting."""
 
-import pytest
-
 from repro.analysis.cfg import cfg_of, find_pps_loop, split_large_blocks
 from repro.ir.verify import verify_function
 from repro.runtime import MachineState, observe, run_sequential

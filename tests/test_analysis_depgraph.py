@@ -56,7 +56,6 @@ def test_shared_memory_collapses_units():
         } }
     """)
     # Read and write of the shared region must share a unit.
-    units = {model.unit_of_block(name) for name in model.loop.body}
     read_unit = None
     write_unit = None
     for name in model.loop.body:

@@ -1,6 +1,6 @@
 """Tests for the instruction effect model."""
 
-from repro.analysis.memdep import Access, accesses_of, conflicts
+from repro.analysis.memdep import accesses_of, conflicts
 from repro.ir.instructions import ArrayLoad, ArrayStore, Call
 from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef, VReg
 

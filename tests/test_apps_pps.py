@@ -24,7 +24,6 @@ from repro.apps.traffic import make_ipv4_packet
 from repro.eval.metrics import make_profiler
 from repro.pipeline.transform import pipeline_pps
 from repro.runtime import (
-    MachineState,
     assert_equivalent,
     observe,
     run_pipeline,
@@ -68,7 +67,6 @@ def test_ipv4_decrements_ttl_and_fixes_checksum():
     inputs = {h: state.packets.load(h, 4 + 8)
               for h in list(state.pipe("ipv4_in").queue)}
     run_sequential(app.module.pps("ipv4"), state, iterations=iterations)
-    from repro.apps.traffic import ipv4_checksum
     for handle in state.pipe("ipv4_out").queue:
         packet = state.packets.get(handle)
         header = bytes(packet.data[4:24])

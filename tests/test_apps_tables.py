@@ -6,10 +6,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.tables import (
-    Ipv4RouteTable,
-    Ipv6RouteTable,
     LEAF_FLAG,
     POINTER_FLAG,
+    Ipv4RouteTable,
+    Ipv6RouteTable,
     leaf_entry,
     pointer_entry,
 )

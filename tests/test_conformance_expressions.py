@@ -41,12 +41,15 @@ def random_expression(rng, names, depth=0):
     if op in ("/", "%"):
         rhs_text = f"((({rhs_text}) & 15) + 1)"
         original = rhs_eval
-        rhs_eval = (lambda env, e=original:
-                    eval_binary("+", eval_binary("&", e(env), 15), 1))
+
+        def rhs_eval(env, e=original):
+            return eval_binary("+", eval_binary("&", e(env), 15), 1)
     if op in ("<<", ">>"):
         rhs_text = f"(({rhs_text}) & 7)"
         original = rhs_eval
-        rhs_eval = lambda env, e=original: eval_binary("&", e(env), 7)
+
+        def rhs_eval(env, e=original):
+            return eval_binary("&", e(env), 7)
 
     def evaluate(env, op=op, lhs=lhs_eval, rhs=rhs_eval):
         return eval_binary(op, lhs(env), rhs(env))

@@ -5,7 +5,6 @@ import pytest
 from repro.eval.allocation import (
     AllocationResult,
     CostCurves,
-    PpsOption,
     allocate_engines,
 )
 

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.apps.suite import build_app
+from repro.eval.experiments import ExperimentConfig, speedup_series
 from repro.eval.metrics import (
     measure_pipeline,
     measure_sequential,
 )
-from repro.eval.experiments import ExperimentConfig, speedup_series
 from repro.eval.report import format_series_table, render_figure
 from repro.machine.costs import SCRATCH_RING
 from repro.pipeline.liveset import Strategy

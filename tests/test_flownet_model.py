@@ -6,9 +6,7 @@ from repro.flownet.model import (
     SINK,
     SOURCE,
     build_cut_network,
-    ctl_key,
     unit_key,
-    var_key,
 )
 from repro.flownet.network import INFINITE_CAPACITY
 from repro.ir.clone import clone_function

@@ -1,13 +1,13 @@
 """Tests for whole-program inlining."""
 
-from repro.ir.instructions import Call
 from repro.ir.inline import inline_module
+from repro.ir.instructions import Call
 from repro.ir.lowering import lower_program
 from repro.ir.verify import verify_function
 from repro.lang import compile_source
+from repro.runtime import MachineState, run_sequential
 
-from helpers import compile_module, standard_setup
-from repro.runtime import MachineState, run_sequential, observe
+from helpers import compile_module
 
 
 def user_calls(function, module):

@@ -1,7 +1,5 @@
 """Tests for AST -> IR lowering."""
 
-import pytest
-
 from repro.analysis.cfg import find_pps_loop
 from repro.ir.function import Module
 from repro.ir.instructions import (
@@ -13,8 +11,8 @@ from repro.ir.instructions import (
     SwitchTerm,
 )
 from repro.ir.lowering import lower_program
+from repro.ir.values import PipeRef, RegionRef
 from repro.ir.verify import verify_function
-from repro.ir.values import ArrayRef, Const, PipeRef, RegionRef
 from repro.lang import compile_source
 
 

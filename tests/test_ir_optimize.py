@@ -1,7 +1,7 @@
 """Tests for the constant folder and CFG simplifier."""
 
 from repro.analysis.cfg import find_pps_loop
-from repro.ir.instructions import Assign, BinOp, Call
+from repro.ir.instructions import BinOp, Call
 from repro.ir.optimize import fold_constants, optimize_module, simplify_cfg
 from repro.ir.values import Const
 from repro.ir.verify import verify_function

@@ -6,7 +6,7 @@ from repro.ir.clone import clone_function
 from repro.ir.function import Function, split_edge
 from repro.ir.instructions import Assign, Branch, Jump, Phi, Return
 from repro.ir.printer import format_function, format_module
-from repro.ir.values import Const, VReg
+from repro.ir.values import Const
 from repro.ir.verify import VerificationError, verify_function
 
 from helpers import compile_module

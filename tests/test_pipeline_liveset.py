@@ -1,8 +1,7 @@
 """Tests for live-set layouts, interference, and coloring."""
 
-from repro.analysis.cfg import find_pps_loop
 from repro.pipeline.coloring import color_graph
-from repro.pipeline.liveset import Strategy, compute_cut_layouts
+from repro.pipeline.liveset import Strategy
 from repro.pipeline.transform import pipeline_pps
 
 from helpers import STANDARD_PPS, compile_module

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir.instructions import Call, PipeIn, PipeOut, SwitchTerm
+from repro.ir.instructions import PipeIn, PipeOut, SwitchTerm
 from repro.ir.verify import verify_function
 from repro.pipeline.liveset import Strategy
 from repro.pipeline.realize import stage_pipe_name

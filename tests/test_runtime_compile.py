@@ -14,7 +14,6 @@ from repro.runtime import (
     reference_active,
     reference_mode,
     run_group,
-    run_sequential,
 )
 from repro.runtime.compile import clear_cache, invalidate
 

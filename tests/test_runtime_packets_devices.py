@@ -3,9 +3,9 @@
 import pytest
 
 from repro.runtime.devices import (
+    MPACKET_SIZE,
     DeviceError,
     DeviceModel,
-    MPACKET_SIZE,
     make_status,
     status_eop,
     status_length,

@@ -1,0 +1,154 @@
+"""The parallel sweep runner (src/repro/eval/sweep.py).
+
+The contract under test:
+
+* ``-j 4`` output is byte-identical to ``-j 1`` once the explicitly
+  nondeterministic ``timing`` / ``cache`` fields are stripped
+  (:func:`deterministic_view`), regardless of completion order;
+* a worker exception or a hard worker crash surfaces as
+  :class:`SweepError` — a structured failure, never a hang;
+* per-task seeds derive deterministically from the base seed and the
+  task identity, so chaos sweeps reproduce under any parallelism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.eval.sweep import (
+    SweepError,
+    SweepTask,
+    bench_tasks,
+    chaos_tasks,
+    derive_seed,
+    deterministic_view,
+    run_sweep,
+)
+
+
+# -- seeds ------------------------------------------------------------------
+
+
+def test_derive_seed_stable_and_distinct():
+    assert derive_seed(7, "chaos", "rx") == derive_seed(7, "chaos", "rx")
+    assert derive_seed(7, "chaos", "rx") != derive_seed(7, "chaos", "tx")
+    assert derive_seed(7, "chaos", "rx") != derive_seed(8, "chaos", "rx")
+    assert 0 <= derive_seed(7, "chaos", "rx") < 2**32
+
+
+def test_chaos_tasks_thread_derived_seeds_in_sorted_order():
+    tasks = chaos_tasks(["tx", "rx"], (1, 2), packets=8, seed=7)
+    assert [task.app for task in tasks] == ["rx", "tx"]
+    assert tasks[0].seed == derive_seed(7, "chaos", "rx")
+    assert tasks[1].seed == derive_seed(7, "chaos", "tx")
+
+
+def test_bench_tasks_preserve_app_order_and_label():
+    tasks = bench_tasks(["tx", "rx"], [1, 2], packets=8, seed=7,
+                        label="figure19", reference=True)
+    assert [task.app for task in tasks] == ["tx", "rx"]
+    assert all(task.label == "figure19" and task.reference
+               for task in tasks)
+
+
+# -- deterministic merge ----------------------------------------------------
+
+# Module-level so ProcessPoolExecutor workers can pickle them by name.
+
+
+def _echo_worker(task: SweepTask) -> dict:
+    # Later-submitted tasks finish first: exercises out-of-order
+    # completion against the task-order merge.
+    time.sleep(0.05 * max(0, 3 - task.seed % 10))
+    return {"app": task.app, "seed": task.seed,
+            "timing": {"wall_seconds": time.perf_counter()}}
+
+
+def _failing_worker(task: SweepTask) -> dict:
+    if task.app == "bad":
+        raise ValueError("synthetic task failure")
+    return {"app": task.app}
+
+
+def _crashing_worker(task: SweepTask) -> dict:
+    os._exit(13)  # hard death: no exception, no cleanup
+
+
+def _tasks(apps):
+    return [SweepTask(kind="bench", app=app, degrees=(1,), packets=1,
+                      seed=index) for index, app in enumerate(apps)]
+
+
+def test_results_come_back_in_task_order_despite_completion_order():
+    tasks = _tasks(["a", "b", "c", "d"])
+    inline = run_sweep(tasks, jobs=1, worker=_echo_worker)
+    fanned = run_sweep(tasks, jobs=4, worker=_echo_worker)
+    assert [r["app"] for r in fanned] == ["a", "b", "c", "d"]
+    assert json.dumps(deterministic_view(fanned), sort_keys=True) == \
+        json.dumps(deterministic_view(inline), sort_keys=True)
+
+
+def test_deterministic_view_strips_timing_and_cache():
+    view = deterministic_view([{"app": "x", "timing": {"wall_seconds": 1},
+                                "cache": {"hits": 3}, "ok": True}])
+    assert view == [{"app": "x", "ok": True}]
+
+
+def test_worker_exception_is_a_structured_sweep_error():
+    tasks = _tasks(["good", "bad"])
+    with pytest.raises(SweepError, match="bad"):
+        run_sweep(tasks, jobs=2, worker=_failing_worker)
+    with pytest.raises(SweepError, match="bad"):
+        run_sweep(tasks, jobs=1, worker=_failing_worker)
+
+
+def test_worker_crash_is_a_sweep_error_not_a_hang():
+    tasks = _tasks(["a", "b"])
+    with pytest.raises(SweepError, match="re-run with -j 1"):
+        run_sweep(tasks, jobs=2, worker=_crashing_worker)
+
+
+def test_unknown_task_kind_rejected():
+    task = SweepTask(kind="nonsense", app="x", degrees=(1,), packets=1,
+                     seed=0)
+    with pytest.raises(SweepError, match="nonsense"):
+        run_sweep([task], jobs=1)
+
+
+def test_unknown_chaos_plan_rejected():
+    task = SweepTask(kind="chaos", app="rx", degrees=(1,), packets=4,
+                     seed=7, plans=("no-such-plan",))
+    with pytest.raises(SweepError, match="no-such-plan"):
+        run_sweep([task], jobs=1)
+
+
+# -- real cells: -j 4 byte-identical to -j 1 --------------------------------
+
+
+def test_bench_sweep_parallel_identical_to_inline(tmp_path):
+    tasks = bench_tasks(["rx", "tx"], [1, 2], packets=4, seed=7,
+                        cache_dir=str(tmp_path / "inline-cache"))
+    inline = run_sweep(tasks, jobs=1)
+    tasks = bench_tasks(["rx", "tx"], [1, 2], packets=4, seed=7,
+                        cache_dir=str(tmp_path / "fanned-cache"))
+    fanned = run_sweep(tasks, jobs=4)
+    assert json.dumps(deterministic_view(fanned), sort_keys=True) == \
+        json.dumps(deterministic_view(inline), sort_keys=True)
+    for result in inline:
+        assert set(result["speedup_by_degree"]) == {1, 2}
+
+
+def test_chaos_sweep_parallel_identical_to_inline(tmp_path):
+    tasks = chaos_tasks(["rx"], (1, 2), packets=8, seed=7,
+                        plans=("drop-light",),
+                        cache_dir=str(tmp_path / "cache"))
+    inline = run_sweep(tasks, jobs=1)
+    fanned = run_sweep(tasks, jobs=2)
+    assert json.dumps(deterministic_view(fanned), sort_keys=True) == \
+        json.dumps(deterministic_view(inline), sort_keys=True)
+    assert inline[0]["ok"] is True
+    assert inline[0]["seed"] == derive_seed(7, "chaos", "rx")
