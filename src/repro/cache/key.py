@@ -28,7 +28,9 @@ from repro.pipeline.realize import stage_pipe_name
 
 #: Version salt for both the key schema and the envelope layout; bumping
 #: it orphans (and thereby invalidates) every previously stored artifact.
-CACHE_SCHEMA_VERSION = 1
+#: v2: PipelineResult gained ``profiled``/``cache_key`` and the envelope
+#: header gained the ``annotations`` stamp (degree + verifier verdict).
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical_pps_text(module: Module, pps_name: str) -> str:

@@ -6,10 +6,15 @@ versioned envelope::
     {"magic": "repro-pipeline-cache", "schema": N, ...}\\n<pickle payload>
 
 The one-line JSON header carries the schema version, the key the entry
-was stored under, and the SHA-256 + byte length of the pickle payload;
-:meth:`CompileCache.lookup` re-verifies all of them, so a truncated,
-bit-rotted, or wrong-schema entry is discarded (with a warning and a
-``corrupt`` counter tick) instead of being deserialized.
+was stored under, the SHA-256 + byte length of the pickle payload, and
+free-form ``annotations`` (the partition supervisor stamps the achieved
+degree and the verifier verdict there); :meth:`CompileCache.lookup`
+re-verifies all of them, so a truncated, bit-rotted, or wrong-schema
+entry is discarded (with a warning and a ``corrupt`` counter tick)
+instead of being deserialized.  A lookup may additionally pass
+``expect={...}``: an entry whose annotations contradict the expectation
+— e.g. a degraded artifact asked for at full degree — is *rejected*
+(counted, left on disk) and the lookup misses.
 
 Writes go to a temporary file in the destination directory followed by
 ``os.replace`` — atomic on POSIX — so concurrent writers (the parallel
@@ -66,6 +71,7 @@ class CompileCache:
         self.stores = 0
         self.corrupt = 0
         self.evictions = 0
+        self.rejected = 0
 
     # -- paths ---------------------------------------------------------
 
@@ -80,15 +86,22 @@ class CompileCache:
 
     # -- read ----------------------------------------------------------
 
-    def lookup(self, key: str):
-        """The stored artifact for ``key``, or None (miss or discarded)."""
+    def lookup(self, key: str, *, expect: dict | None = None):
+        """The stored artifact for ``key``, or None (miss or discarded).
+
+        ``expect`` optionally constrains the envelope annotations: every
+        ``expect[k]`` must equal the stored annotation ``k``.  A
+        contradicting entry (e.g. stamped with a lower achieved degree
+        than requested) is rejected — counted in ``rejected``, kept on
+        disk — and the lookup reports a miss.
+        """
         path = self.entry_path(key)
         try:
             data = path.read_bytes()
         except OSError:
             self.misses += 1
             return None
-        payload = self._verify(path, key, data)
+        payload = self._verify(path, key, data, expect)
         if payload is None:
             self.misses += 1
             return None
@@ -105,7 +118,8 @@ class CompileCache:
             pass
         return artifact
 
-    def _verify(self, path: Path, key: str, data: bytes) -> bytes | None:
+    def _verify(self, path: Path, key: str, data: bytes,
+                expect: dict | None = None) -> bytes | None:
         from repro.cache.key import CACHE_SCHEMA_VERSION
 
         newline = data.find(b"\n")
@@ -131,6 +145,12 @@ class CompileCache:
         digest = hashlib.sha256(payload).hexdigest()
         if header.get("payload_sha256") != digest:
             return self._discard(path, "payload digest mismatch")
+        if expect:
+            annotations = header.get("annotations") or {}
+            for field, wanted in expect.items():
+                if annotations.get(field) != wanted:
+                    self.rejected += 1
+                    return None  # healthy entry, wrong annotations
         return payload
 
     def _discard(self, path: Path, reason: str) -> None:
@@ -145,8 +165,14 @@ class CompileCache:
 
     # -- write ---------------------------------------------------------
 
-    def store(self, key: str, artifact) -> None:
-        """Serialize ``artifact`` under ``key`` (atomic, best-effort)."""
+    def store(self, key: str, artifact,
+              annotations: dict | None = None) -> None:
+        """Serialize ``artifact`` under ``key`` (atomic, best-effort).
+
+        ``annotations`` ride in the envelope header (not the payload):
+        the partitioner stamps ``degree``, the supervisor re-stores with
+        ``verified``/``achieved_degree`` so lookups can filter on them.
+        """
         from repro.cache.key import CACHE_SCHEMA_VERSION
         from repro import __version__
 
@@ -158,6 +184,7 @@ class CompileCache:
             "key": key,
             "payload_sha256": hashlib.sha256(payload).hexdigest(),
             "payload_bytes": len(payload),
+            "annotations": dict(annotations or {}),
         }
         blob = json.dumps(header, sort_keys=True).encode("utf-8") \
             + b"\n" + payload
@@ -220,6 +247,7 @@ class CompileCache:
             "stores": self.stores,
             "corrupt": self.corrupt,
             "evictions": self.evictions,
+            "rejected": self.rejected,
         }
 
     def merge_counters(self, counters: dict) -> None:
@@ -229,6 +257,7 @@ class CompileCache:
         self.stores += counters.get("stores", 0)
         self.corrupt += counters.get("corrupt", 0)
         self.evictions += counters.get("evictions", 0)
+        self.rejected += counters.get("rejected", 0)
 
     def __repr__(self) -> str:
         return (f"CompileCache({str(self.root)!r}, hits={self.hits}, "

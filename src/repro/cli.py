@@ -17,8 +17,17 @@ Usage (also via ``python -m repro``)::
     repro chaos --sweep -j 4                 # parallel multi-app chaos sweep
     repro figures [--packets 60]             # regenerate the paper figures
     repro bench [--quick] [-j N] [-o FILE]   # performance regression harness
+    repro fuzz [--seeds 50] [--out DIR]      # progen fuzz of the partitioner
+    repro fuzz --self-test                   # verifier mutation self-test
 
 PPS-C files conventionally use the ``.ppc`` extension.
+
+``repro pipeline`` / ``repro run`` partition through the supervisor
+(:mod:`repro.pipeline.supervisor`): the result is independently verified
+(:mod:`repro.pipeline.verify`), and on partitioner faults or verifier
+rejection the requested degree degrades down a D → ⌈D/2⌉ → … → 1 ladder
+rather than failing outright.  ``--keep-going`` on ``chaos --sweep`` and
+``bench -j N`` likewise trades fail-fast for per-cell failure records.
 
 Partition results are memoized in a content-addressed artifact cache
 (``--cache-dir DIR``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
@@ -27,7 +36,8 @@ Partition results are memoized in a content-addressed artifact cache
 Exit codes (see :mod:`repro.errors`): 0 success, 1 compile/pipeline/IO
 failure (including sweep worker crashes), 2 usage error (unknown PPS,
 malformed ``--feed`` or fault plan), 3 runtime failure (interpreter
-trap, deadlock/livelock).
+trap, deadlock/livelock), 4 degraded success (the supervisor delivered
+a verified partition, but at a lower degree than requested).
 """
 
 from __future__ import annotations
@@ -35,7 +45,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import DeadlockError, FaultPlanError, ReproError, TrapError
+from repro.errors import (
+    EXIT_DEGRADED,
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_RUNTIME,
+    EXIT_USAGE,
+    DeadlockError,
+    FaultPlanError,
+    ReproError,
+    TrapError,
+)
 from repro.eval.sweep import SweepError
 from repro.ir.function import Module
 from repro.ir.inline import inline_module
@@ -152,17 +172,22 @@ def cmd_ir(args) -> int:
 
 
 def cmd_pipeline(args) -> int:
+    from repro.pipeline.supervisor import supervise_partition
+
     module = _load_module(args.file)
     pps_name = _resolve_pps(module, args.pps)
-    result = pipeline_pps(
+    outcome = supervise_partition(
         module, pps_name, args.degree,
         costs=_COST_MODELS[args.ring],
         epsilon=args.epsilon,
         strategy=Strategy(args.strategy),
         cache=_open_cache(args),
     )
-    print(f"{pps_name}: {args.degree} stages over {args.ring} rings "
-          f"(epsilon={args.epsilon}, {args.strategy} transmission)")
+    if outcome.result is None:
+        raise PipelineError(outcome.summary())
+    result = outcome.result
+    print(f"{pps_name}: {outcome.achieved_degree} stages over {args.ring} "
+          f"rings (epsilon={args.epsilon}, {args.strategy} transmission)")
     weights = result.assignment.stage_weights(result.model)
     for stage in result.stages:
         layout = (result.layouts[stage.index - 1]
@@ -175,11 +200,16 @@ def cmd_pipeline(args) -> int:
         print(f"  cut {diag.stage}: target={diag.target:.1f} "
               f"got={diag.weight} cost={diag.cut_value} "
               f"balanced={diag.balanced}")
+    if outcome.verdict is not None:
+        print(f"  verify: {outcome.verdict.summary()}")
     if args.emit:
         for stage in result.stages:
             print()
             print(format_function(stage.function))
-    return 0
+    if outcome.degraded:
+        print(f"warning: {outcome.summary()}", file=sys.stderr)
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def cmd_run(args) -> int:
@@ -226,20 +256,28 @@ def cmd_run(args) -> int:
 
     run_watchdog = seq_watchdog
     cache = _open_cache(args) if args.degree > 1 else None
+    outcome = None
     if args.degree > 1:
-        result = pipeline_pps(module, pps_name, args.degree, cache=cache)
+        from repro.pipeline.supervisor import supervise_partition
+
+        outcome = supervise_partition(module, pps_name, args.degree,
+                                      cache=cache)
+        if outcome.result is None:
+            raise PipelineError(outcome.summary())
+        degree = outcome.achieved_degree
         pipelined = fresh()
         run_watchdog = watchdog()
-        run = run_pipeline(result.stages, pipelined, iterations=iterations,
+        run = run_pipeline(outcome.result.stages, pipelined,
+                           iterations=iterations,
                            watchdog=run_watchdog,
                            isolate_traps=args.isolate_traps)
         longest = max(s.weight for s in run.stats.values())
         if plan is None or plan.semantics_preserving():
             assert_equivalent(observe(sequential), observe(pipelined))
-            print(f"pipelined x{args.degree}: longest stage {longest} "
+            print(f"pipelined x{degree}: longest stage {longest} "
                   f"weighted instructions; observationally equivalent ✔")
         else:
-            print(f"pipelined x{args.degree}: longest stage {longest} "
+            print(f"pipelined x{degree}: longest stage {longest} "
                   f"weighted instructions; equivalence skipped "
                   f"(fault plan is not semantics-preserving)")
         state = pipelined
@@ -266,8 +304,11 @@ def cmd_run(args) -> int:
         from repro.obs import runtime_report
 
         print(runtime_report(run_stats, state, watchdog=run_watchdog,
-                             cache=cache).render())
-    return 0
+                             cache=cache, partition=outcome).render())
+    if outcome is not None and outcome.degraded:
+        print(f"warning: {outcome.summary()}", file=sys.stderr)
+        return EXIT_DEGRADED
+    return EXIT_OK
 
 
 def cmd_chaos(args) -> int:
@@ -339,11 +380,18 @@ def _chaos_sweep(args, degrees: tuple, cache) -> int:
     tasks = chaos_tasks(apps, degrees, packets=args.packets, seed=args.seed,
                         plans=plans,
                         cache_dir=str(cache.root) if cache else None)
-    results = run_sweep(tasks, jobs=args.jobs)
+    results = run_sweep(tasks, jobs=args.jobs, keep_going=args.keep_going)
 
     letters: list = []
+    failures: list = []
     ok = True
     for result in results:
+        if result.get("failed"):
+            ok = False
+            failures.append(result)
+            print(f"[seed {result['seed']}] {result['task']}: FAILED — "
+                  f"{result['error']}")
+            continue
         print(f"[seed {result['seed']}] {result['rendered']}")
         ok = ok and result["ok"]
         for letter in result["dead_letters"]:
@@ -353,6 +401,10 @@ def _chaos_sweep(args, degrees: tuple, cache) -> int:
     print(f"sweep: {len(results)} apps x degrees "
           f"{','.join(str(d) for d in degrees)} (-j {args.jobs}): "
           f"{'ok' if ok else 'FAIL'}")
+    if failures:
+        print(f"  {len(failures)} cells failed; reproduce with:")
+        for failure in failures:
+            print(f"    {failure['repro']}")
 
     if args.output:
         merged = {
@@ -360,9 +412,11 @@ def _chaos_sweep(args, degrees: tuple, cache) -> int:
             "seed": args.seed,
             "jobs": args.jobs,
             "ok": ok,
-            "apps": {result["app"]: result["report"]
+            "apps": {result["app"]: result.get("report")
                      for result in results},
         }
+        if failures:
+            merged["failures"] = failures
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(merged, handle, indent=2)
             handle.write("\n")
@@ -472,7 +526,8 @@ def cmd_bench(args) -> int:
                             degrees=degrees,
                             measure_reference=not args.no_reference,
                             jobs=args.jobs,
-                            cache=_open_cache(args))
+                            cache=_open_cache(args),
+                            keep_going=args.keep_going)
     parent = os.path.dirname(args.output)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -501,8 +556,53 @@ def cmd_bench(args) -> int:
         print(f"  cache     {counters['hits']} hits, "
               f"{counters['misses']} misses, {counters['stores']} stores, "
               f"{counters['evictions']} evicted")
+    if result.get("failures"):
+        print(f"  {len(result['failures'])} sweep cells FAILED:")
+        for failure in result["failures"]:
+            print(f"    {failure['task']}: {failure['error']}")
     print(f"wrote {args.output}")
-    return 0
+    return EXIT_FAILURE if result.get("failures") else EXIT_OK
+
+
+def cmd_fuzz(args) -> int:
+    import json
+    import os
+
+    from repro.eval.fuzz import run_fuzz, self_test
+
+    if args.self_test:
+        outcome = self_test()
+        for name, checks in sorted(outcome["caught"].items()):
+            print(f"  defect {name}: caught by {', '.join(checks)}")
+        if outcome["missed"]:
+            print(f"fuzz self-test: MISSED defects: "
+                  f"{', '.join(outcome['missed'])}")
+            return EXIT_FAILURE
+        print("fuzz self-test: every seeded defect caught")
+        return EXIT_OK
+
+    try:
+        degrees = tuple(int(d) for d in args.degrees.split(","))
+    except ValueError as exc:
+        raise CLIError(f"bad --degrees {args.degrees!r}: {exc}") from exc
+    report = run_fuzz(args.seeds, start_seed=args.start_seed,
+                      degrees=degrees, packets=args.packets,
+                      shrink=not args.no_shrink)
+    print(report.render())
+    if args.out and report.failures:
+        os.makedirs(args.out, exist_ok=True)
+        for failure in report.failures:
+            stem = f"seed{failure.seed}_d{failure.degree}_{failure.phase}"
+            with open(os.path.join(args.out, stem + ".ppc"), "w",
+                      encoding="utf-8") as handle:
+                handle.write(failure.artifact())
+            with open(os.path.join(args.out, stem + ".json"), "w",
+                      encoding="utf-8") as handle:
+                json.dump(failure.as_dict(), handle, indent=2)
+                handle.write("\n")
+        print(f"wrote {len(report.failures)} failing programs to "
+              f"{args.out}")
+    return EXIT_OK if report.ok else EXIT_FAILURE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -581,6 +681,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "stream-driven app)")
     p_chaos.add_argument("-j", "--jobs", type=int, default=1,
                          help="worker processes for --sweep (default: 1)")
+    p_chaos.add_argument("--keep-going", action="store_true",
+                         help="with --sweep: record failed cells and "
+                              "keep running instead of failing fast")
     _add_cache_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
@@ -626,8 +729,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("-j", "--jobs", type=int, default=1,
                          help="fan (figure, app) sweep cells over N worker "
                               "processes")
+    p_bench.add_argument("--keep-going", action="store_true",
+                         help="with -j: record failed sweep cells and "
+                              "keep running instead of failing fast")
     _add_cache_flags(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="fuzz the partitioner with generated programs")
+    p_fuzz.add_argument("--seeds", type=int, default=50,
+                        help="number of generated programs (default: 50)")
+    p_fuzz.add_argument("--start-seed", type=int, default=0)
+    p_fuzz.add_argument("--degrees", default="2,3,4",
+                        help="comma-separated pipeline degrees, applied "
+                             "round-robin per seed")
+    p_fuzz.add_argument("--packets", type=int, default=24,
+                        help="packets per differential run (default: 24)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report failing programs unshrunk")
+    p_fuzz.add_argument("--self-test", action="store_true",
+                        help="seed known partition defects instead; the "
+                             "verifier must catch every one")
+    p_fuzz.add_argument("--out", metavar="DIR", default=None,
+                        help="write failing programs (shrunk) and their "
+                             "metadata into DIR")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 
@@ -639,22 +765,22 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except (CLIError, FaultPlanError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except (FrontendError, PipelineError, SweepError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     except DeadlockError as exc:
         print(f"error: {exc}", file=sys.stderr)
         for name, key in sorted(exc.parked.items()):
             marker = "!" if name in exc.offenders else " "
             print(f"  {marker} {name} parked on {key!r}", file=sys.stderr)
-        return 3
+        return EXIT_RUNTIME
     except TrapError as exc:
         print(f"error: trap: {exc}", file=sys.stderr)
-        return 3
+        return EXIT_RUNTIME
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,7 +8,12 @@ distinct exit codes (see :mod:`repro.cli`):
 * compile/partition failures (``FrontendError``, ``PipelineError``) —
   exit 1;
 * runtime traps and scheduler hangs (``TrapError`` and its device/packet
-  subclasses, ``DeadlockError``) — exit 3.
+  subclasses, ``DeadlockError``) — exit 3;
+* degraded success (``EXIT_DEGRADED``) — exit 4: the run *completed*,
+  but the partition supervisor had to degrade to a lower pipelining
+  degree than requested (see ``repro.pipeline.supervisor``).  Not an
+  exception family: commands return the code after printing a one-line
+  warning.
 
 ``TrapError`` is the new name of the interpreter's historical
 ``RuntimeError_``; the old name remains importable from
@@ -19,6 +24,13 @@ layers (state, devices, packets) and by the front end.
 """
 
 from __future__ import annotations
+
+#: CLI exit-code families (kept here so embedders need not import the CLI).
+EXIT_OK = 0
+EXIT_FAILURE = 1        # compile / partition / IO / sweep failure
+EXIT_USAGE = 2          # bad flag value, unknown PPS, malformed plan
+EXIT_RUNTIME = 3        # interpreter trap, deadlock / livelock
+EXIT_DEGRADED = 4       # success at a lower pipelining degree than asked
 
 
 class ReproError(Exception):

@@ -245,7 +245,8 @@ def measure_replication(app: AppInstance, ways: int, *,
 def bench_headline(*, packets: int = 60, seed: int = 7,
                    degrees: list[int] | None = None,
                    measure_reference: bool = True,
-                   jobs: int = 1, cache=None) -> dict:
+                   jobs: int = 1, cache=None,
+                   keep_going: bool = False) -> dict:
     """Run the headline performance benchmark (``repro bench``).
 
     Times the Figure 19/20 degree sweeps end to end, separating the three
@@ -266,7 +267,10 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
     cells over a process pool (:mod:`repro.eval.sweep`); phase seconds
     then aggregate worker CPU time while ``phase_seconds["sweep"]`` holds
     the parallel region's wall clock.  The speedup series are
-    deterministic and identical under any ``jobs`` level.
+    deterministic and identical under any ``jobs`` level.  ``keep_going``
+    (parallel path only) records failed cells under a ``failures`` key
+    instead of aborting the whole sweep on the first
+    :class:`~repro.eval.sweep.SweepError`.
 
     Returns a JSON-serializable dict; ``repro bench`` writes it to
     ``bench-out/BENCH_headline.json``.
@@ -289,7 +293,7 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
         return _bench_headline_parallel(
             packets=packets, seed=seed, degrees=degrees,
             measure_reference=measure_reference, jobs=jobs, cache=cache,
-            figure_apps=figure_apps)
+            figure_apps=figure_apps, keep_going=keep_going)
 
     # Phase wall clocks; each phase also shows up as a span when the bench
     # runs under an active repro.obs tracer.
@@ -411,7 +415,8 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
 
 def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
                              measure_reference: bool, jobs: int, cache,
-                             figure_apps: dict) -> dict:
+                             figure_apps: dict,
+                             keep_going: bool = False) -> dict:
     """The ``jobs > 1`` bench path: one sweep task per (figure, app)."""
     import sys
 
@@ -431,10 +436,15 @@ def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
 
     phases = PhaseTimer()
     with phases.phase("sweep", jobs=jobs, tasks=len(tasks)):
-        results = run_sweep(tasks, jobs=jobs)
+        results = run_sweep(tasks, jobs=jobs, keep_going=keep_going)
+
+    # keep_going sweeps carry failure placeholders; aggregate only the
+    # cells that completed, and report the rest under "failures".
+    failures = [entry for entry in results if entry.get("failed")]
+    completed = [entry for entry in results if not entry.get("failed")]
 
     by_label: dict[str, list[dict]] = {}
-    for entry in results:
+    for entry in completed:
         by_label.setdefault(entry["label"], []).append(entry)
 
     def aggregate(entries: list[dict], phase: str) -> float:
@@ -442,7 +452,7 @@ def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
 
     figures: dict[str, dict] = {}
     for figure, names in figure_apps.items():
-        entries = by_label[figure]
+        entries = by_label.get(figure, [])
         wall = aggregate(entries, "simulate_seconds")
         instructions = sum(entry["simulated_instructions"]
                            for entry in entries)
@@ -456,7 +466,7 @@ def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
                                   for result in entries},
         }
         if measure_reference and figure == "figure19":
-            reference = by_label["figure19:reference"]
+            reference = by_label.get("figure19:reference", [])
             ref_wall = aggregate(reference, "simulate_seconds")
             entry["reference_wall_seconds"] = round(ref_wall, 4)
             entry["speedup_vs_reference"] = (round(ref_wall / wall, 2)
@@ -471,7 +481,7 @@ def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
                 headline[name] = app_series[top]
 
     if cache is not None:
-        for entry in results:
+        for entry in completed:
             if entry.get("cache"):
                 cache.merge_counters(entry["cache"])
 
@@ -483,20 +493,22 @@ def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
             "jobs": jobs,
             "python": sys.version.split()[0],
         },
-        "build_seconds": round(aggregate(results, "build_seconds"), 4),
-        "partition_seconds": round(aggregate(results, "partition_seconds"),
+        "build_seconds": round(aggregate(completed, "build_seconds"), 4),
+        "partition_seconds": round(aggregate(completed, "partition_seconds"),
                                    4),
-        "compile_seconds": round(aggregate(results, "compile_seconds"), 4),
+        "compile_seconds": round(aggregate(completed, "compile_seconds"), 4),
         "phase_seconds": {
             "sweep": round(phases["sweep"], 4),
-            "build": round(aggregate(results, "build_seconds"), 4),
-            "partition": round(aggregate(results, "partition_seconds"), 4),
-            "compile": round(aggregate(results, "compile_seconds"), 4),
-            "simulate": round(aggregate(results, "simulate_seconds"), 4),
+            "build": round(aggregate(completed, "build_seconds"), 4),
+            "partition": round(aggregate(completed, "partition_seconds"), 4),
+            "compile": round(aggregate(completed, "compile_seconds"), 4),
+            "simulate": round(aggregate(completed, "simulate_seconds"), 4),
         },
         "figures": figures,
         f"headline_speedup_degree{top}": headline,
     }
+    if failures:
+        result["failures"] = failures
     if cache is not None:
         result["cache"] = cache.counters()
     return result

@@ -33,7 +33,17 @@ from repro.errors import ReproError
 
 
 class SweepError(ReproError):
-    """A sweep task failed or its worker process died."""
+    """A sweep task failed or its worker process died.
+
+    The message always carries the failing task's derived seed and its
+    full argument tuple plus a copy-paste reproduction command, so any
+    sweep failure reproduces inline with a one-liner.  ``task`` holds
+    the :class:`SweepTask` itself when one is attributable.
+    """
+
+    def __init__(self, message: str, *, task: "SweepTask | None" = None):
+        super().__init__(message)
+        self.task = task
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,24 @@ class SweepTask:
         ref = " (reference)" if self.reference else ""
         return (f"{self.kind} {self.app} D={','.join(map(str, self.degrees))}"
                 f"{ref}{tag}")
+
+    def repro_command(self) -> str:
+        """A copy-paste one-liner that re-runs this exact cell inline."""
+        degrees = ",".join(map(str, self.degrees))
+        if self.kind == "chaos":
+            plans = (" --plans " + " ".join(self.plans)
+                     if self.plans else "")
+            return (f"repro chaos --app {self.app} --degrees {degrees} "
+                    f"--packets {self.packets} --seed {self.seed}{plans}")
+        return (f"repro bench --packets {self.packets} -j 1  "
+                f"# cell: app={self.app} degrees={degrees} "
+                f"seed={self.seed}")
+
+    def detail(self) -> str:
+        """The failure context every SweepError message must carry:
+        the derived seed and the full argument tuple."""
+        return (f"seed={self.seed} args={self!r}; "
+                f"reproduce: {self.repro_command()}")
 
 
 def derive_seed(base: int, *parts) -> int:
@@ -219,54 +247,93 @@ def _execute_chaos(task: SweepTask) -> dict:
 # -- the runner -------------------------------------------------------------
 
 
-def run_sweep(tasks, *, jobs: int = 1, worker=None) -> list[dict]:
+def run_sweep(tasks, *, jobs: int = 1, worker=None,
+              keep_going: bool = False) -> list[dict]:
     """Execute every task; results come back in *task order*.
 
     ``jobs <= 1`` runs inline through the exact same worker function, so
     the parallel path cannot diverge from the sequential one.  ``worker``
     is a test seam (must be a picklable module-level callable).
+
+    ``keep_going=False`` (the default) fails fast: the first failing
+    task raises :class:`SweepError` and sibling results are discarded.
+    ``keep_going=True`` records each failure as a placeholder dict
+    (``{"failed": True, "ok": False, "error", "task", "seed",
+    "repro"}``) in its task-order slot and keeps running, so one bad
+    cell no longer costs the rest of the sweep.
     """
     tasks = list(tasks)
     worker = worker or _execute
     if jobs <= 1:
-        return [_guarded(worker, task) for task in tasks]
+        return [_guarded(worker, task, keep_going=keep_going)
+                for task in tasks]
 
     results: list = [None] * len(tasks)
-    try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(worker, task): index
-                       for index, task in enumerate(tasks)}
-            for future in as_completed(futures):
-                index = futures[future]
-                try:
-                    results[index] = future.result()
-                except BrokenProcessPool as exc:
-                    raise SweepError(
-                        f"sweep worker process died while running "
-                        f"{tasks[index].describe()} (killed or crashed); "
-                        f"re-run with -j 1 to reproduce inline") from exc
-                except ReproError:
-                    raise
-                except Exception as exc:
-                    raise SweepError(
-                        f"sweep task {tasks[index].describe()} failed: "
-                        f"{exc}") from exc
-    except BrokenProcessPool as exc:
-        raise SweepError(
-            "sweep worker pool broke before all tasks completed "
-            "(a worker was killed or crashed); re-run with -j 1 to "
-            "reproduce inline") from exc
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(worker, task): index
+                   for index, task in enumerate(tasks)}
+        for future in as_completed(futures):
+            index = futures[future]
+            task = tasks[index]
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool as exc:
+                error = SweepError(
+                    f"sweep worker process died while running "
+                    f"{task.describe()} (killed or crashed); "
+                    f"{task.detail()}", task=task)
+                if keep_going:
+                    results[index] = _failure_record(task, error)
+                    continue
+                # Cancel what has not started; the pool is dead anyway.
+                for pending in futures:
+                    pending.cancel()
+                raise error from exc
+            except Exception as exc:
+                error = (exc if isinstance(exc, SweepError)
+                         else SweepError(
+                             f"sweep task {task.describe()} failed: "
+                             f"{exc}; {task.detail()}", task=task))
+                if keep_going:
+                    results[index] = _failure_record(task, error)
+                    continue
+                raise error from exc
     return results
 
 
-def _guarded(worker, task: SweepTask) -> dict:
+def _failure_record(task: SweepTask, error: Exception) -> dict:
+    """The task-order placeholder a ``keep_going`` sweep returns for a
+    failed cell."""
+    return {
+        "kind": task.kind,
+        "app": task.app,
+        "label": task.label,
+        "seed": task.seed,
+        "ok": False,
+        "failed": True,
+        "error": str(error),
+        "task": task.describe(),
+        "repro": task.repro_command(),
+    }
+
+
+def _guarded(worker, task: SweepTask, *, keep_going: bool = False) -> dict:
     try:
         return worker(task)
-    except ReproError:
+    except SweepError as exc:
+        if keep_going:
+            return _failure_record(task, exc)
+        raise
+    except ReproError as exc:
+        if keep_going:
+            return _failure_record(task, exc)
         raise
     except Exception as exc:
-        raise SweepError(f"sweep task {task.describe()} failed: "
-                         f"{exc}") from exc
+        error = SweepError(f"sweep task {task.describe()} failed: {exc}; "
+                           f"{task.detail()}", task=task)
+        if keep_going:
+            return _failure_record(task, error)
+        raise error from exc
 
 
 def deterministic_view(results: list[dict]) -> list[dict]:

@@ -64,6 +64,10 @@ class RuntimeReport:
     #: Compile-cache counters (hits/misses/stores/corrupt/evictions) —
     #: populated only when the run compiled through a CompileCache.
     cache: dict | None = None
+    #: Supervised-partition outcome (verifier verdict, achieved vs
+    #: requested degree) — populated only when the run partitioned
+    #: through the supervisor.
+    partition: dict | None = None
 
     def as_dict(self) -> dict:
         result = {
@@ -85,6 +89,8 @@ class RuntimeReport:
                                       for letter in self.dead_letters]
         if self.cache is not None:
             result["cache"] = dict(self.cache)
+        if self.partition is not None:
+            result["partition"] = dict(self.partition)
         return result
 
     def render(self) -> str:
@@ -135,18 +141,32 @@ class RuntimeReport:
                 f"{self.cache.get('stores', 0)} stores, "
                 f"{self.cache.get('evictions', 0)} evicted, "
                 f"{self.cache.get('corrupt', 0)} corrupt")
+        if self.partition is not None:
+            achieved = self.partition.get("achieved_degree")
+            requested = self.partition.get("requested_degree")
+            verdict = self.partition.get("verdict") or {}
+            status = "verified" if verdict.get("ok") else "unverified"
+            note = (f" (DEGRADED from {requested})"
+                    if self.partition.get("degraded") else "")
+            lines.append(f"  partition: {status} at degree {achieved}{note}, "
+                         f"{len(self.partition.get('attempts', []))} "
+                         f"attempts")
         return "\n".join(lines)
 
 
 def runtime_report(stats: dict, state: MachineState, *,
-                   watchdog=None, cache=None) -> RuntimeReport:
+                   watchdog=None, cache=None,
+                   partition=None) -> RuntimeReport:
     """Assemble the report for one finished run.
 
     ``stats`` maps interpreter name -> ``InterpStats`` (e.g.
     ``RunResult.stats``); ``state`` is the machine the run executed on;
     ``watchdog`` optionally contributes its check counters; ``cache``
     (a :class:`repro.cache.CompileCache`) contributes hit/miss/evict
-    counters when compilation went through the artifact cache.
+    counters when compilation went through the artifact cache;
+    ``partition`` (a :class:`repro.pipeline.PartitionOutcome`)
+    contributes the verifier verdict and achieved degree when
+    partitioning went through the supervisor.
     """
     report = RuntimeReport()
     for name in sorted(stats):
@@ -183,6 +203,8 @@ def runtime_report(stats: dict, state: MachineState, *,
     report.dead_letters = list(getattr(state, "dead_letters", ()))
     if cache is not None:
         report.cache = cache.counters()
+    if partition is not None:
+        report.partition = partition.as_dict()
     return report
 
 

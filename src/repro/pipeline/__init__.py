@@ -2,15 +2,35 @@
 
 from repro.pipeline.cuts import CutDiagnostics, StageAssignment, select_stages
 from repro.pipeline.replicate import ReplicationResult, replicate_pps
+from repro.pipeline.supervisor import (
+    AttemptRecord,
+    PartitionOutcome,
+    degradation_ladder,
+    supervise_partition,
+)
 from repro.pipeline.transform import PipelineError, PipelineResult, pipeline_pps
+from repro.pipeline.verify import (
+    VerifyError,
+    VerifyFinding,
+    VerifyVerdict,
+    verify_partition,
+)
 
 __all__ = [
+    "AttemptRecord",
     "CutDiagnostics",
+    "PartitionOutcome",
     "PipelineError",
     "PipelineResult",
     "ReplicationResult",
     "StageAssignment",
+    "VerifyError",
+    "VerifyFinding",
+    "VerifyVerdict",
+    "degradation_ladder",
     "pipeline_pps",
     "replicate_pps",
     "select_stages",
+    "supervise_partition",
+    "verify_partition",
 ]

@@ -1,0 +1,210 @@
+"""Partition supervision: verify, retry, degrade — never crash.
+
+``supervise_partition`` wraps ``pipeline_pps`` + ``verify_partition``
+in a staged graceful-degradation ladder:
+
+1. partition at the requested degree D and verify independently;
+2. on a partitioner exception *or* a verifier rejection, retry the same
+   degree with perturbed cut knobs (flip the incremental warm-restart,
+   widen the balance slack, split blocks finer) — a different search
+   trajectory often sidesteps a heuristic's bad corner;
+3. when every attempt at a degree fails, degrade D → ⌈D/2⌉ → … → 1.
+   The sequential "pipeline" (degree 1) is always valid, so supervised
+   partitioning returns a usable program for any well-formed PPS.
+
+The outcome is a :class:`PartitionOutcome`: the verified result (at the
+achieved degree), the verifier verdict, and one :class:`AttemptRecord`
+per attempt — callers surface degradation as a warning plus the
+``degraded success`` exit code instead of a crash.
+
+Cache interaction: verified results are re-stored with envelope
+annotations ``{"verified": True, "degree": ..., "achieved_degree",
+"requested_degree"}``.  ``pipeline_pps`` itself only ever serves a hit
+whose stamped ``degree`` equals the request, so a degraded artifact can
+never masquerade as a full-degree hit; the supervisor's stamp
+additionally lets ``repro run --profile`` report the verdict the
+artifact was stored with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Module
+from repro.machine.costs import NN_RING, CostModel
+from repro.pipeline.liveset import Strategy
+from repro.pipeline.transform import PipelineError, PipelineResult, pipeline_pps
+from repro.pipeline.verify import VerifyVerdict, verify_partition
+
+
+@dataclass
+class AttemptRecord:
+    """One rung of the degradation ladder: a partition+verify attempt."""
+
+    degree: int
+    knobs: dict
+    outcome: str                 # "verified" | "partition-error" | "rejected"
+    error: str | None = None     # partitioner exception text
+    findings: list = field(default_factory=list)  # verifier findings
+
+    def as_dict(self) -> dict:
+        record = {"degree": self.degree, "knobs": dict(self.knobs),
+                  "outcome": self.outcome}
+        if self.error is not None:
+            record["error"] = self.error
+        if self.findings:
+            record["findings"] = [finding.as_dict()
+                                  for finding in self.findings]
+        return record
+
+
+@dataclass
+class PartitionOutcome:
+    """What supervised partitioning achieved, and how."""
+
+    pps_name: str
+    requested_degree: int
+    achieved_degree: int
+    result: PipelineResult | None
+    verdict: VerifyVerdict | None
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def degraded(self) -> bool:
+        return self.ok and self.achieved_degree < self.requested_degree
+
+    def summary(self) -> str:
+        if not self.ok:
+            return (f"{self.pps_name}: partitioning failed at every degree "
+                    f"down from {self.requested_degree} "
+                    f"({len(self.attempts)} attempts)")
+        if self.degraded:
+            return (f"{self.pps_name}: degraded to {self.achieved_degree} "
+                    f"stages (requested {self.requested_degree}; "
+                    f"{len(self.attempts)} attempts)")
+        return (f"{self.pps_name}: verified at degree "
+                f"{self.achieved_degree}")
+
+    def as_dict(self) -> dict:
+        return {
+            "pps": self.pps_name,
+            "requested_degree": self.requested_degree,
+            "achieved_degree": self.achieved_degree,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "verdict": self.verdict.as_dict() if self.verdict else None,
+            "attempts": [attempt.as_dict() for attempt in self.attempts],
+        }
+
+
+def degradation_ladder(degree: int) -> list[int]:
+    """The degrees tried, in order: D, ⌈D/2⌉, …, 1 (each one once)."""
+    rungs = []
+    current = max(1, degree)
+    while current not in rungs:
+        rungs.append(current)
+        if current == 1:
+            break
+        current = (current + 1) // 2
+    return rungs
+
+
+def _knob_perturbations(base: dict, retries: int) -> list[dict]:
+    """The knob sets tried at one degree: the caller's, then perturbed."""
+    variants = [dict(base)]
+    flipped = dict(base)
+    flipped["incremental"] = not base["incremental"]
+    variants.append(flipped)
+    widened = dict(base)
+    widened["epsilon"] = base["epsilon"] * 2
+    if base["max_block_instructions"] > 0:
+        widened["max_block_instructions"] = max(
+            4, base["max_block_instructions"] // 2)
+    variants.append(widened)
+    return variants[:1 + max(0, retries)]
+
+
+def supervise_partition(module: Module, pps_name: str, degree: int, *,
+                        costs: CostModel = NN_RING,
+                        epsilon: float = 1.0 / 16.0,
+                        strategy: Strategy = Strategy.PACKED,
+                        incremental: bool = True,
+                        interference: str = "exact",
+                        max_block_instructions: int = 12,
+                        profiler=None,
+                        cache=None,
+                        retries: int = 1,
+                        partition=pipeline_pps,
+                        verifier=verify_partition) -> PartitionOutcome:
+    """Partition ``pps_name`` at (up to) ``degree`` stages, verified.
+
+    ``retries`` is the number of *extra* knob-perturbed attempts per
+    degree before degrading.  ``partition`` and ``verifier`` are test
+    seams (fault injection into the partitioner, verifier doubles); they
+    default to the real ``pipeline_pps`` / ``verify_partition``.
+
+    Raises :class:`PipelineError` only for malformed *inputs* (unknown
+    PPS, degree < 1) — the conditions no amount of degradation can fix.
+    Internal partitioner failures and verifier rejections degrade.
+    """
+    if pps_name not in module.ppses:
+        raise PipelineError(f"unknown pps {pps_name!r}")
+    if degree < 1:
+        raise PipelineError("pipelining degree must be >= 1")
+
+    base_knobs = {
+        "epsilon": epsilon,
+        "incremental": incremental,
+        "interference": interference,
+        "max_block_instructions": max_block_instructions,
+    }
+    attempts: list[AttemptRecord] = []
+    for rung in degradation_ladder(degree):
+        for knobs in _knob_perturbations(base_knobs, retries):
+            try:
+                result = partition(
+                    module, pps_name, rung,
+                    costs=costs, strategy=strategy, profiler=profiler,
+                    cache=cache, **knobs)
+            except Exception as exc:
+                attempts.append(AttemptRecord(
+                    degree=rung, knobs=knobs, outcome="partition-error",
+                    error=f"{type(exc).__name__}: {exc}"))
+                continue
+            verdict = verifier(result, epsilon=knobs["epsilon"])
+            if not verdict.ok:
+                attempts.append(AttemptRecord(
+                    degree=rung, knobs=knobs, outcome="rejected",
+                    findings=list(verdict.findings)))
+                continue
+            attempts.append(AttemptRecord(degree=rung, knobs=knobs,
+                                          outcome="verified"))
+            _stamp_cache(cache, result, requested=degree)
+            return PartitionOutcome(
+                pps_name=pps_name, requested_degree=degree,
+                achieved_degree=rung, result=result, verdict=verdict,
+                attempts=attempts)
+    return PartitionOutcome(pps_name=pps_name, requested_degree=degree,
+                            achieved_degree=0, result=None, verdict=None,
+                            attempts=attempts)
+
+
+def _stamp_cache(cache, result: PipelineResult, *, requested: int) -> None:
+    """Re-store a verified result with the verdict in the envelope.
+
+    The stamped ``degree`` stays the artifact's own degree (what
+    ``pipeline_pps`` lookups filter on); ``achieved_degree`` /
+    ``requested_degree`` record the supervision outcome.
+    """
+    if cache is None or result.cache_key is None:
+        return
+    cache.store(result.cache_key, result, annotations={
+        "degree": result.degree,
+        "verified": True,
+        "achieved_degree": result.degree,
+        "requested_degree": requested,
+    })

@@ -55,6 +55,14 @@ class PipelineResult:
     costs: CostModel
     normalized: Function  # the block-split single-PPS working copy
     loop: PpsLoop = field(repr=False, default=None)
+    #: True when the cuts were profile-dimensioned (the post-cut greedy
+    #: refinement rebalances by *dynamic* weight, so the verifier must
+    #: not hold the static ε envelope against the result).
+    profiled: bool = False
+    #: The content address the result was stored under (None when the
+    #: transformation ran uncached); the supervisor uses it to re-stamp
+    #: the envelope with the verifier verdict.
+    cache_key: str | None = field(repr=False, default=None)
 
     def stage_functions(self) -> list[Function]:
         return [stage.function for stage in self.stages]
@@ -120,7 +128,10 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
                               interference=interference,
                               max_block_instructions=max_block_instructions,
                               profiles=profiles)
-            cached = cache.lookup(key)
+            # The expectation rejects any mislabeled envelope: an artifact
+            # stamped with a lower achieved degree (a degraded partition)
+            # is never served for a full-degree request.
+            cached = cache.lookup(key, expect={"degree": degree})
             obs.instant("cache_lookup", cat="cache", pps=pps_name,
                         degree=degree, key=key[:16],
                         outcome="hit" if cached is not None else "miss")
@@ -171,9 +182,12 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
         costs=costs,
         normalized=work,
         loop=loop,
+        profiled=profiles is not None,
+        cache_key=key,
     )
     if key is not None:
-        cache.store(key, result)
+        cache.store(key, result, annotations={"degree": degree,
+                                              "verified": False})
     return result
 
 

@@ -394,3 +394,51 @@ def test_resolve_cache_policy(tmp_path, monkeypatch):
     assert resolve_cache().root == tmp_path / "env"
     monkeypatch.delenv("REPRO_CACHE_DIR")
     assert default_cache_dir().name == "repro"
+
+
+# -- envelope annotations (ISSUE 5: degraded artifacts never masquerade) ------
+
+
+def test_annotations_round_trip_and_gate_lookup(tmp_path):
+    cache = CompileCache(tmp_path / "cache")
+    key = "a" * 64
+    cache.store(key, {"payload": 1}, annotations={"degree": 2,
+                                                  "verified": True})
+    # Matching expectations hit.
+    assert cache.lookup(key, expect={"degree": 2}) == {"payload": 1}
+    assert cache.lookup(key, expect={"degree": 2,
+                                     "verified": True}) == {"payload": 1}
+    # A contradicting expectation is a rejection — a miss that leaves
+    # the (healthy) entry on disk for its rightful consumers.
+    assert cache.lookup(key, expect={"degree": 4}) is None
+    assert cache.lookup(key, expect={"verified": False}) is None
+    assert cache.rejected == 2
+    assert cache.lookup(key, expect={"degree": 2}) == {"payload": 1}
+    assert cache.counters()["rejected"] == 2
+
+
+def test_unannotated_entries_reject_any_expectation(tmp_path):
+    cache = CompileCache(tmp_path / "cache")
+    key = "b" * 64
+    cache.store(key, {"payload": 2})
+    assert cache.lookup(key) == {"payload": 2}          # plain lookup fine
+    assert cache.lookup(key, expect={"degree": 2}) is None
+    assert cache.rejected == 1
+
+
+def test_pipeline_pps_stamps_and_filters_by_degree(tmp_path):
+    module = compile_module(STANDARD_PPS)
+    cache = CompileCache(tmp_path / "cache")
+    result = pipeline_pps(module, "worker", 2, cache=cache)
+    assert result.cache_key is not None
+    # The stored envelope is degree-stamped (unverified until the
+    # supervisor re-stamps it).
+    assert cache.lookup(result.cache_key,
+                        expect={"degree": 2}) is not None
+    assert cache.lookup(result.cache_key,
+                        expect={"degree": 4}) is None
+    # A warm second partition is a (degree-gated) hit.
+    before = cache.hits
+    again = pipeline_pps(module, "worker", 2, cache=cache)
+    assert cache.hits == before + 1
+    assert again.degree == 2

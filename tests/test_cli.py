@@ -117,6 +117,90 @@ def test_multi_pps_requires_selection(tmp_path, capsys):
     assert "a" in err and "b" in err
 
 
+def test_pipeline_prints_verifier_verdict(demo_file, capsys):
+    assert main(["pipeline", demo_file, "-d", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "verify:" in out
+    assert "verified" in out
+
+
+def _flaky_supervisor(monkeypatch, threshold):
+    """Patch supervise_partition so the partitioner fails above
+    ``threshold`` — the supervisor must degrade, the CLI must exit 4."""
+    import repro.pipeline.supervisor as supervisor_module
+    from repro.pipeline.transform import pipeline_pps
+
+    real = supervisor_module.supervise_partition
+
+    def failing(module, pps_name, degree, **kwargs):
+        if degree > threshold:
+            raise RuntimeError("injected partitioner fault")
+        return pipeline_pps(module, pps_name, degree, **kwargs)
+
+    def flaky(module, pps_name, degree, **kwargs):
+        kwargs["partition"] = failing
+        return real(module, pps_name, degree, **kwargs)
+
+    monkeypatch.setattr(supervisor_module, "supervise_partition", flaky)
+
+
+def test_run_degraded_partition_exits_4(demo_file, capsys, monkeypatch):
+    _flaky_supervisor(monkeypatch, threshold=2)
+    assert main(["run", demo_file, "-d", "4", "--feed", "in_q=1,2,5",
+                 "--iterations", "3"]) == 4
+    captured = capsys.readouterr()
+    assert "pipelined x2" in captured.out          # ran at the degraded D
+    assert "pipe out_q: [3, 6, 15]" in captured.out  # output still right
+    assert "degraded to 2 stages" in captured.err
+    assert "warning:" in captured.err
+
+
+def test_pipeline_degraded_partition_exits_4(demo_file, capsys, monkeypatch):
+    _flaky_supervisor(monkeypatch, threshold=2)
+    assert main(["pipeline", demo_file, "-d", "4"]) == 4
+    captured = capsys.readouterr()
+    assert "2 stages" in captured.out
+    assert "degraded to 2 stages" in captured.err
+
+
+def test_run_profile_reports_partition_verdict(demo_file, capsys):
+    assert main(["run", demo_file, "-d", "2", "--feed", "in_q=1,2,5",
+                 "--iterations", "3", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "partition: verified at degree 2" in out
+
+
+def test_fuzz_smoke(capsys):
+    assert main(["fuzz", "--seeds", "4", "--packets", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz: 4 programs" in out
+    assert "ok" in out
+
+
+def test_fuzz_self_test(capsys):
+    assert main(["fuzz", "--self-test"]) == 0
+    out = capsys.readouterr().out
+    assert "every seeded defect caught" in out
+    assert "drop-live-var" in out
+
+
+def test_fuzz_bad_degrees_is_usage_error(capsys):
+    assert main(["fuzz", "--degrees", "x,y"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_keep_going_flags_parse():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.parse_args(["chaos", "--sweep",
+                              "--keep-going"]).keep_going is True
+    assert parser.parse_args(["chaos", "--sweep"]).keep_going is False
+    assert parser.parse_args(["bench", "-j", "2",
+                              "--keep-going"]).keep_going is True
+    assert parser.parse_args(["bench"]).keep_going is False
+
+
 def test_bench_writes_report(tmp_path, capsys):
     output = tmp_path / "bench.json"
     assert main(["bench", "--quick", "--packets", "8", "--no-reference",

@@ -107,3 +107,16 @@ def test_invalid_json_fault_plan_exits_2(trap_file, tmp_path):
     plan.write_text("{not json")
     assert main(["run", trap_file, "--feed", "in_q=1",
                  "--faults", str(plan)]) == 2
+
+
+def test_exit_code_family_constants():
+    from repro.errors import (
+        EXIT_DEGRADED,
+        EXIT_FAILURE,
+        EXIT_OK,
+        EXIT_RUNTIME,
+        EXIT_USAGE,
+    )
+
+    assert (EXIT_OK, EXIT_FAILURE, EXIT_USAGE, EXIT_RUNTIME,
+            EXIT_DEGRADED) == (0, 1, 2, 3, 4)

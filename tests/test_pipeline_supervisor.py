@@ -1,0 +1,185 @@
+"""The partition supervisor's graceful-degradation ladder.
+
+The ISSUE 5 acceptance contract:
+
+* under an injected partitioner fault at the requested degree the
+  supervisor degrades down the D → ⌈D/2⌉ → … → 1 ladder, and the
+  degraded pipeline's observable behaviour is bit-identical to the
+  sequential oracle;
+* every attempt (knob retries included) is recorded;
+* verified results are re-stamped in the compile cache, and a degraded
+  artifact is never served for a full-degree request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CompileCache
+from repro.pipeline.supervisor import (
+    PartitionOutcome,
+    degradation_ladder,
+    supervise_partition,
+)
+from repro.pipeline.transform import PipelineError, pipeline_pps
+from repro.pipeline.verify import verify_partition
+from repro.runtime.equivalence import assert_equivalent, observe
+from repro.runtime.scheduler import run_pipeline, run_sequential
+from repro.runtime.state import MachineState
+
+from helpers import STANDARD_PPS, compile_module, standard_setup
+
+
+def _module():
+    return compile_module(STANDARD_PPS)
+
+
+# -- the ladder ---------------------------------------------------------------
+
+
+def test_degradation_ladder_halves_down_to_one():
+    assert degradation_ladder(8) == [8, 4, 2, 1]
+    assert degradation_ladder(5) == [5, 3, 2, 1]
+    assert degradation_ladder(2) == [2, 1]
+    assert degradation_ladder(1) == [1]
+
+
+# -- clean path ---------------------------------------------------------------
+
+
+def test_clean_partition_verifies_first_try():
+    outcome = supervise_partition(_module(), "worker", 3)
+    assert outcome.ok and not outcome.degraded
+    assert outcome.achieved_degree == outcome.requested_degree == 3
+    assert outcome.result.degree == 3
+    assert outcome.verdict.ok
+    assert [a.outcome for a in outcome.attempts] == ["verified"]
+    assert "verified at degree 3" in outcome.summary()
+
+
+def test_malformed_inputs_still_raise():
+    with pytest.raises(PipelineError, match="unknown pps"):
+        supervise_partition(_module(), "nope", 2)
+    with pytest.raises(PipelineError, match=">= 1"):
+        supervise_partition(_module(), "worker", 0)
+
+
+# -- degradation under injected faults ----------------------------------------
+
+
+def _failing_above(threshold):
+    """A partitioner double that crashes for any degree > ``threshold``."""
+
+    def partition(module, pps_name, degree, **kwargs):
+        if degree > threshold:
+            raise RuntimeError(f"injected partitioner fault at {degree}")
+        return pipeline_pps(module, pps_name, degree, **kwargs)
+
+    return partition
+
+
+def test_partitioner_fault_degrades_to_the_next_viable_rung():
+    module = _module()
+    outcome = supervise_partition(module, "worker", 4,
+                                  partition=_failing_above(2))
+    assert outcome.ok and outcome.degraded
+    assert outcome.requested_degree == 4
+    assert outcome.achieved_degree == 2
+    # Degree 4 was retried with perturbed knobs before degrading.
+    failed = [a for a in outcome.attempts if a.outcome == "partition-error"]
+    assert len(failed) == 2 and all(a.degree == 4 for a in failed)
+    assert failed[0].knobs["incremental"] != failed[1].knobs["incremental"]
+    assert outcome.attempts[-1].outcome == "verified"
+    assert "degraded to 2 stages" in outcome.summary()
+
+    # Acceptance: the degraded pipeline is bit-identical to the oracle.
+    oracle = MachineState(module)
+    iterations = standard_setup(oracle)
+    run_sequential(module.pps("worker"), oracle, iterations=iterations)
+    degraded = MachineState(module)
+    standard_setup(degraded)
+    run_pipeline(outcome.result.stages, degraded, iterations=iterations)
+    assert_equivalent(observe(oracle), observe(degraded))
+
+
+def test_verifier_rejection_degrades_too():
+    def picky_verifier(result, **kwargs):
+        verdict = verify_partition(result, **kwargs)
+        if result.degree >= 3:
+            # Simulate a rejection at high degrees regardless of reality.
+            from repro.pipeline.verify import VerifyFinding, VerifyVerdict
+
+            return VerifyVerdict(
+                pps_name=result.pps_name, degree=result.degree,
+                findings=[VerifyFinding(check="liveness",
+                                        detail="synthetic rejection")],
+                warnings=[], checks_run=verdict.checks_run)
+        return verdict
+
+    outcome = supervise_partition(_module(), "worker", 4,
+                                  verifier=picky_verifier)
+    assert outcome.ok and outcome.degraded
+    assert outcome.achieved_degree == 2
+    rejected = [a for a in outcome.attempts if a.outcome == "rejected"]
+    assert rejected and all(a.findings for a in rejected)
+
+
+def test_total_failure_returns_a_structured_outcome():
+    def always_fails(module, pps_name, degree, **kwargs):
+        raise RuntimeError("nothing works")
+
+    outcome = supervise_partition(_module(), "worker", 4, retries=1,
+                                  partition=always_fails)
+    assert not outcome.ok and outcome.result is None
+    assert outcome.achieved_degree == 0
+    # Every rung (4, 2, 1) tried with every knob variant (base + retry).
+    assert len(outcome.attempts) == len(degradation_ladder(4)) * 2
+    assert "failed at every degree" in outcome.summary()
+    assert outcome.as_dict()["ok"] is False
+
+
+# -- cache stamping -----------------------------------------------------------
+
+
+def test_verified_result_is_stamped_in_the_cache(tmp_path):
+    module = _module()
+    cache = CompileCache(tmp_path / "cache")
+    outcome = supervise_partition(module, "worker", 3, cache=cache)
+    assert outcome.ok
+    key = outcome.result.cache_key
+    assert key is not None
+    assert cache.lookup(key, expect={"degree": 3, "verified": True})
+    # An unverified-full-degree expectation mismatch is a rejection, not
+    # a hit — the entry stays on disk for its rightful consumers.
+    assert cache.lookup(key, expect={"degree": 4}) is None
+    assert cache.rejected == 1
+    assert cache.lookup(key, expect={"degree": 3}) is not None
+
+
+def test_degraded_artifact_never_serves_a_full_degree_request(tmp_path):
+    module = _module()
+    cache = CompileCache(tmp_path / "cache")
+    outcome = supervise_partition(module, "worker", 4, cache=cache,
+                                  partition=_failing_above(2))
+    assert outcome.degraded and outcome.achieved_degree == 2
+    stamped = cache.lookup(outcome.result.cache_key,
+                           expect={"degree": 2, "verified": True})
+    assert stamped is not None
+
+    # Acceptance: a later full-degree request recomputes; it never sees
+    # the degraded degree-2 artifact (distinct key AND stamped degree).
+    fresh = pipeline_pps(module, "worker", 4, cache=cache)
+    assert fresh.degree == 4
+    assert fresh.cache_key != outcome.result.cache_key
+    assert cache.lookup(outcome.result.cache_key,
+                        expect={"degree": 4}) is None
+
+
+def test_outcome_as_dict_round_trips_to_json():
+    import json
+
+    outcome = supervise_partition(_module(), "worker", 2)
+    payload = json.loads(json.dumps(outcome.as_dict()))
+    assert payload["achieved_degree"] == 2
+    assert payload["degraded"] is False
+    assert isinstance(outcome, PartitionOutcome)

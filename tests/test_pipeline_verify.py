@@ -1,0 +1,119 @@
+"""The independent post-partition verifier (src/repro/pipeline/verify.py).
+
+The ISSUE 5 acceptance contract:
+
+* every suite app at D in {2, 4, 8} passes verification with zero
+  rejections (warnings are allowed: reported-unbalanced cuts and
+  profile-refined stages downgrade to warnings by design);
+* every seeded defect class — dropped live variable, flipped cut edge,
+  unbalanced stage, broken control object — is rejected, each by the
+  check family that owns it;
+* the verifier recomputes its ground truth from the *normalized*
+  function, never trusting the partitioner's own diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.suite import build_app
+from repro.eval.fuzz import DEFECT_MUTATORS, seeded_defects
+from repro.pipeline.transform import pipeline_pps
+from repro.pipeline.verify import (
+    CHECKS,
+    VerifyError,
+    verify_partition,
+)
+
+from helpers import STANDARD_PPS, compile_module
+
+SUITE_APPS = ["rx", "ipv4", "ip_v4", "ip_v6", "scheduler", "qm", "tx"]
+
+#: The check family that must reject each seeded defect class.
+EXPECTED_CHECK = {
+    "drop-live-var": "liveness",
+    "flip-cut-edge": "dependence",
+    "unbalance-stage": "balance",
+    "break-control-object": "reconstruction",
+}
+
+
+# -- clean partitions verify --------------------------------------------------
+
+
+@pytest.mark.parametrize("app_name", SUITE_APPS)
+def test_suite_apps_verify_at_every_degree(app_name):
+    app = build_app(app_name, packets=8)
+    for degree in (2, 4, 8):
+        result = pipeline_pps(app.module, app.pps_name, degree)
+        verdict = verify_partition(result)
+        assert verdict.ok, verdict.summary()
+        assert verdict.findings == []
+        assert set(verdict.checks_run) == set(CHECKS)
+
+
+def test_standard_pps_verifies_across_degrees():
+    module = compile_module(STANDARD_PPS)
+    for degree in (2, 3, 4, 5):
+        verdict = verify_partition(pipeline_pps(module, "worker", degree))
+        assert verdict.ok, verdict.summary()
+
+
+def test_degree_one_short_circuits_to_reconstruction_only():
+    module = compile_module(STANDARD_PPS)
+    verdict = verify_partition(pipeline_pps(module, "worker", 1))
+    assert verdict.ok
+    assert verdict.checks_run == ("reconstruction",)
+
+
+def test_profiled_partition_verifies():
+    # refine_stages moves units after the cut diagnostics are recorded;
+    # the verifier must not hard-fail the refined (profiled) balance.
+    app = build_app("ip_v4", packets=8)
+    from repro.eval.metrics import make_profiler
+
+    result = pipeline_pps(app.module, app.pps_name, 4,
+                          profiler=make_profiler(app))
+    assert result.profiled
+    verdict = verify_partition(result)
+    assert verdict.ok, verdict.summary()
+
+
+# -- seeded defects are rejected ----------------------------------------------
+
+
+def test_every_seeded_defect_is_rejected():
+    module = compile_module(STANDARD_PPS)
+    result = pipeline_pps(module, "worker", 3)
+    assert verify_partition(result).ok  # mutants start from a clean base
+    caught = {}
+    for name, mutant in seeded_defects(result):
+        verdict = verify_partition(mutant)
+        assert not verdict.ok, f"defect {name} slipped past the verifier"
+        caught[name] = sorted({finding.check
+                               for finding in verdict.findings})
+    assert set(caught) == set(DEFECT_MUTATORS)
+    for name, expected in EXPECTED_CHECK.items():
+        assert expected in caught[name], (name, caught[name])
+
+
+def test_rejection_raises_a_structured_verify_error():
+    module = compile_module(STANDARD_PPS)
+    result = pipeline_pps(module, "worker", 3)
+    [(name, mutant)] = [pair for pair in seeded_defects(result)
+                        if pair[0] == "drop-live-var"]
+    verdict = verify_partition(mutant)
+    with pytest.raises(VerifyError) as excinfo:
+        verdict.raise_if_rejected()
+    assert excinfo.value.verdict is verdict
+    assert "liveness" in str(excinfo.value)
+
+
+def test_verdict_serializes_to_json():
+    module = compile_module(STANDARD_PPS)
+    verdict = verify_partition(pipeline_pps(module, "worker", 3))
+    payload = json.loads(json.dumps(verdict.as_dict()))
+    assert payload["ok"] is True
+    assert payload["degree"] == 3

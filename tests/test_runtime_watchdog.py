@@ -168,6 +168,57 @@ def test_exhausted_device_input_is_normal():
     run_group(interpreters, watchdog=Watchdog())  # parks on idle port
 
 
+def test_zero_packet_run_is_classified_as_end_of_stream():
+    # Zero traffic: every stage parks on a recv immediately, before a
+    # single packet moves.  The host-fed in_q has no in-run writer, so
+    # the done-fixpoint must classify stage 1 as end-of-stream and
+    # cascade down the (vacuously) drained pipeline — not a deadlock.
+    module = compile_module(STANDARD_PPS)
+    state = MachineState(module)
+    state.load_region("tbl", [(i * 7 + 3) % 50 for i in range(64)])
+    watchdog = Watchdog(quantum=1000)
+    run_sequential(module.pps("worker"), state, iterations=5,
+                   watchdog=watchdog)
+    assert watchdog.quiescence_checks == 1
+    assert state.pipe("out_q").sent == 0
+
+    result = pipeline_pps(module, "worker", 3)
+    state2 = MachineState(module)
+    state2.load_region("tbl", [(i * 7 + 3) % 50 for i in range(64)])
+    watchdog2 = Watchdog(quantum=1000)
+    run_pipeline(result.stages, state2, iterations=5, watchdog=watchdog2)
+    assert watchdog2.quiescence_checks == 1
+    assert state2.pipe("out_q").sent == 0
+
+
+def test_detach_during_active_quarantine_reconciles_cleanly():
+    # A mid-pipeline stage traps while quarantine is active: its
+    # generator is rebuilt while sibling stages sit parked on the wake
+    # hub.  The teardown detach must reconcile the drained wait sets
+    # against the scheduler's parked set (no lost-wakeup TrapError) and
+    # tally the end-of-stream waiters as stranded.
+    from repro.runtime.faults import FaultInjector, FaultPlan
+
+    module = compile_module(STANDARD_PPS)
+    plan = FaultPlan.from_dict({"stages": {"*s2of3": {"trap_at": 40}}})
+    result = pipeline_pps(module, "worker", 3)
+    state = MachineState(module)
+    FaultInjector(plan).arm(state)
+    iterations = standard_setup(state)
+    watchdog = Watchdog(quantum=100_000)
+    run = run_pipeline(result.stages, state, iterations=iterations,
+                       watchdog=watchdog, isolate_traps=True)
+    assert sum(stats.traps for stats in run.stats.values()) >= 1
+    assert state.dead_letters
+    hub = state.wake_hub
+    # Teardown already detached: wait sets empty, strands tallied.
+    assert hub.parked() == {}
+    assert hub.stranded >= 1
+    assert hub.detach() == {}  # idempotent on a drained hub
+    # The quarantined iterations are the only losses.
+    assert state.pipe("out_q").sent >= iterations - len(state.dead_letters)
+
+
 # -- livelock -----------------------------------------------------------------
 
 

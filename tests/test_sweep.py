@@ -106,10 +106,59 @@ def test_worker_exception_is_a_structured_sweep_error():
         run_sweep(tasks, jobs=1, worker=_failing_worker)
 
 
+def test_sweep_error_carries_seed_args_and_repro_command():
+    tasks = _tasks(["good", "bad"])
+    for jobs in (1, 2):
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(tasks, jobs=jobs, worker=_failing_worker)
+        message = str(excinfo.value)
+        task = excinfo.value.task
+        assert task is tasks[1] or task == tasks[1]
+        assert f"seed={tasks[1].seed}" in message      # derived seed
+        assert repr(tasks[1]) in message               # full arg tuple
+        assert "reproduce:" in message                 # one-liner
+        assert tasks[1].repro_command() in message
+
+
 def test_worker_crash_is_a_sweep_error_not_a_hang():
     tasks = _tasks(["a", "b"])
-    with pytest.raises(SweepError, match="re-run with -j 1"):
+    with pytest.raises(SweepError, match="reproduce:"):
         run_sweep(tasks, jobs=2, worker=_crashing_worker)
+
+
+def test_chaos_repro_command_is_a_chaos_one_liner():
+    [task] = chaos_tasks(["rx"], (1, 2), packets=8, seed=7,
+                         plans=("drop-light",))
+    command = task.repro_command()
+    assert command.startswith("repro chaos --app rx --degrees 1,2")
+    assert f"--seed {task.seed}" in command
+    assert "--plans drop-light" in command
+
+
+# -- keep_going ---------------------------------------------------------------
+
+
+def test_keep_going_records_failures_and_keeps_sibling_results():
+    tasks = _tasks(["good", "bad", "also-good"])
+    for jobs in (1, 2):
+        results = run_sweep(tasks, jobs=jobs, worker=_failing_worker,
+                            keep_going=True)
+        assert [r.get("failed", False) for r in results] == \
+            [False, True, False]
+        assert results[0]["app"] == "good"
+        assert results[2]["app"] == "also-good"
+        record = results[1]
+        assert record["ok"] is False
+        assert record["seed"] == tasks[1].seed
+        assert record["task"] == tasks[1].describe()
+        assert record["repro"] == tasks[1].repro_command()
+        assert "synthetic task failure" in record["error"]
+
+
+def test_keep_going_default_stays_fail_fast():
+    tasks = _tasks(["good", "bad"])
+    with pytest.raises(SweepError):
+        run_sweep(tasks, jobs=1, worker=_failing_worker)
 
 
 def test_unknown_task_kind_rejected():
