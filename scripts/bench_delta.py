@@ -4,9 +4,13 @@
 Compares every overlapping (figure, app, degree) speedup cell of a fresh
 ``repro bench`` report against ``BENCH_headline.json`` (the committed
 baseline).  A speedup regression beyond the tolerance (default 25%) is a
-hard failure; wall-clock metrics (build/partition/compile seconds,
-simulation wall time, instructions/second) vary with runner load, so
-they are reported as warn-only context rows.
+hard failure.  ``partition_seconds`` is additionally gated by
+``--partition-budget`` (default 25%; 0 or negative disables): the
+partitioner's cold wall time is the one wall-clock number this repo
+optimizes deliberately, so silently losing it again would defeat the
+memoization/warm-start machinery.  The remaining wall-clock metrics
+(build/compile seconds, simulation wall time, instructions/second) vary
+with runner load and stay warn-only context rows.
 
 Writes a markdown summary (``--summary``) and appends it to
 ``$GITHUB_STEP_SUMMARY`` when running under GitHub Actions.
@@ -60,7 +64,24 @@ def compare(baseline: dict, current: dict, tolerance: float):
     return regressions, improvements, rows
 
 
-def render_summary(args, rows, regressions, improvements, wall_rows) -> str:
+def partition_delta(baseline: dict, current: dict, budget: float):
+    """The gated ``partition_seconds`` row, or ``None`` when not gated.
+
+    Returns ``(before, after, ratio, over_budget)``; ``budget <= 0`` or a
+    report without the metric disables the gate.
+    """
+    if budget <= 0:
+        return None
+    before = baseline.get("partition_seconds")
+    after = current.get("partition_seconds")
+    if not before or after is None:
+        return None
+    ratio = after / before
+    return before, after, ratio, ratio > 1.0 + budget
+
+
+def render_summary(args, rows, regressions, improvements, wall_rows,
+                   partition_row=None) -> str:
     lines = ["# bench delta", ""]
     lines.append(
         f"Baseline `{args.baseline}` vs current `{args.current}` "
@@ -69,6 +90,15 @@ def render_summary(args, rows, regressions, improvements, wall_rows) -> str:
         f"{len(improvements)} improvements.**"
     )
     lines.append("")
+    if partition_row is not None:
+        before, after, ratio, over = partition_row
+        verdict = ("**OVER BUDGET (hard failure)**" if over else "ok")
+        lines.append(
+            f"Partition budget ({args.partition_budget:.0%}): "
+            f"`partition_seconds` {before:.3f}s -> {after:.3f}s "
+            f"({ratio:.2f}x) — {verdict}"
+        )
+        lines.append("")
     if regressions:
         lines.append("## Regressions (hard failure)")
         lines.append("")
@@ -111,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional speedup drop before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--partition-budget",
+        type=float,
+        default=0.25,
+        help="allowed fractional increase of cold partition_seconds before "
+             "failing (default 0.25; 0 or negative disables the gate)",
+    )
     parser.add_argument("--summary", default="bench_delta.md")
     args = parser.parse_args(argv)
 
@@ -120,13 +157,15 @@ def main(argv: list[str] | None = None) -> int:
         current = json.load(handle)
 
     regressions, improvements, rows = compare(baseline, current, args.tolerance)
+    partition_row = partition_delta(baseline, current, args.partition_budget)
     wall_rows = [
         (metric, baseline[metric], current[metric])
         for metric in WALL_METRICS
         if metric in baseline and metric in current
     ]
 
-    summary = render_summary(args, rows, regressions, improvements, wall_rows)
+    summary = render_summary(args, rows, regressions, improvements, wall_rows,
+                             partition_row)
     with open(args.summary, "w", encoding="utf-8") as handle:
         handle.write(summary + "\n")
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -143,12 +182,27 @@ def main(argv: list[str] | None = None) -> int:
             f"{before:.4f}x -> {after:.4f}x ({ratio:.2f})",
             file=sys.stderr,
         )
+    over_budget = False
+    if partition_row is not None:
+        before, after, ratio, over_budget = partition_row
+        if over_budget:
+            print(
+                f"PARTITION BUDGET EXCEEDED: partition_seconds "
+                f"{before:.3f}s -> {after:.3f}s ({ratio:.2f}x > "
+                f"{1.0 + args.partition_budget:.2f}x)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"partition budget: {before:.3f}s -> {after:.3f}s "
+                f"({ratio:.2f}x, within {args.partition_budget:.0%})"
+            )
     print(
         f"bench delta: {len(rows)} cells, {len(regressions)} regressions, "
         f"{len(improvements)} improvements (tolerance {args.tolerance:.0%}); "
         f"summary -> {args.summary}"
     )
-    return 1 if regressions else 0
+    return 1 if regressions or over_budget else 0
 
 
 if __name__ == "__main__":

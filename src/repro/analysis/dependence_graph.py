@@ -81,6 +81,12 @@ class LoopDependenceModel:
         self._reach: dict[int, set[int]] = {}
         self._build()
         self.units = self._condense_units()
+        # Lazy memos over the (immutable) unit structure; computed on
+        # first use and shared by every cut, refinement pass, and
+        # verifier check that consults the model.
+        self._unit_weights: dict[int, int] | None = None
+        self._unit_edges: list[DepEdge] | None = None
+        self._unit_adjacency: tuple[dict, dict] | None = None
         obs.instant("dependence_model", cat="compile",
                     function=ssa.name, nodes=len(self.sgraph),
                     dep_edges=len(self.edges),
@@ -242,17 +248,56 @@ class LoopDependenceModel:
         return blocks
 
     def unit_weight(self, unit: int) -> int:
-        return sum(self.node_weight(node) for node in self.units.members[unit])
+        return self.unit_weights()[unit]
+
+    def unit_weights(self) -> dict[int, int]:
+        """Static weight of every unit (memoized; units are immutable)."""
+        if self._unit_weights is None:
+            self._unit_weights = {
+                unit: sum(self.node_weight(node) for node in members)
+                for unit, members in self.units.members.items()
+            }
+        return self._unit_weights
 
     def unit_edges(self) -> list[DepEdge]:
-        """Dependence edges lifted to units (intra-unit edges dropped)."""
-        lifted = []
-        for edge in self.edges:
-            src = self.unit_of_node(edge.src)
-            dst = self.unit_of_node(edge.dst)
-            if src != dst:
-                lifted.append(DepEdge(src, dst, edge.kind, edge.payload))
-        return lifted
+        """Dependence edges lifted to units (intra-unit edges dropped;
+        memoized — callers must not mutate the returned list)."""
+        if self._unit_edges is None:
+            lifted = []
+            for edge in self.edges:
+                src = self.unit_of_node(edge.src)
+                dst = self.unit_of_node(edge.dst)
+                if src != dst:
+                    lifted.append(DepEdge(src, dst, edge.kind, edge.payload))
+            self._unit_edges = lifted
+        return self._unit_edges
+
+    def unit_adjacency(self) -> tuple[dict[int, set[int]], dict[int, set[int]]]:
+        """Constraint adjacency at unit granularity: ``(succs, preds)``.
+
+        Combines the lifted dependence edges with the summarized CFG
+        edges — the exact legality structure the flow network encodes —
+        and is memoized, so cut selection, refinement, and frontier
+        computation share one table per program.
+        """
+        if self._unit_adjacency is None:
+            succs: dict[int, set[int]] = {unit: set()
+                                          for unit in self.units.members}
+            preds: dict[int, set[int]] = {unit: set()
+                                          for unit in self.units.members}
+            for edge in self.unit_edges():
+                if edge.src != edge.dst:
+                    succs[edge.src].add(edge.dst)
+                    preds[edge.dst].add(edge.src)
+            for src_node in self.sgraph.nodes:
+                src_unit = self.unit_of_node(src_node)
+                for dst_node in self.sgraph.succs(src_node):
+                    dst_unit = self.unit_of_node(dst_node)
+                    if src_unit != dst_unit:
+                        succs[src_unit].add(dst_unit)
+                        preds[dst_unit].add(src_unit)
+            self._unit_adjacency = (succs, preds)
+        return self._unit_adjacency
 
     @property
     def header_unit(self) -> int:

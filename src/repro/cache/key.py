@@ -30,7 +30,10 @@ from repro.pipeline.realize import stage_pipe_name
 #: it orphans (and thereby invalidates) every previously stored artifact.
 #: v2: PipelineResult gained ``profiled``/``cache_key`` and the envelope
 #: header gained the ``annotations`` stamp (degree + verifier verdict).
-CACHE_SCHEMA_VERSION = 2
+#: v3: CutDiagnostics gained the ``pr_work``/``warm_hit`` work-accounting
+#: fields; pre-v3 artifacts would deserialize with stale/absent work
+#: metrics, so they are invalidated wholesale.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonical_pps_text(module: Module, pps_name: str) -> str:

@@ -17,7 +17,10 @@ Usage (also via ``python -m repro``)::
     repro chaos --sweep -j 4                 # parallel multi-app chaos sweep
     repro figures [--packets 60]             # regenerate the paper figures
     repro bench [--quick] [-j N] [-o FILE]   # performance regression harness
+    repro bench --profile                    # + partition-phase table
+    repro plan -j 4                          # pre-partition matrix into cache
     repro fuzz [--seeds 50] [--out DIR]      # progen fuzz of the partitioner
+    repro fuzz -j 4                          # parallel fuzz campaign
     repro fuzz --self-test                   # verifier mutation self-test
 
 PPS-C files conventionally use the ``.ppc`` extension.
@@ -150,6 +153,17 @@ def _open_cache(args):
     return resolve_cache(args.cache_dir, args.no_cache)
 
 
+def _add_partition_flags(parser) -> None:
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="solve every cut cold instead of seeding it "
+                             "from the previous degree's preflow (the "
+                             "cuts are identical either way)")
+    parser.add_argument("--paranoid-verify", action="store_true",
+                        help="make the verifier rebuild SSA/dependence/"
+                             "liveness from scratch instead of sharing "
+                             "the partitioner's analysis context")
+
+
 # -- subcommands ------------------------------------------------------------
 
 
@@ -182,6 +196,8 @@ def cmd_pipeline(args) -> int:
         epsilon=args.epsilon,
         strategy=Strategy(args.strategy),
         cache=_open_cache(args),
+        warm_start=not args.no_warm_start,
+        paranoid_verify=args.paranoid_verify,
     )
     if outcome.result is None:
         raise PipelineError(outcome.summary())
@@ -261,7 +277,9 @@ def cmd_run(args) -> int:
         from repro.pipeline.supervisor import supervise_partition
 
         outcome = supervise_partition(module, pps_name, args.degree,
-                                      cache=cache)
+                                      cache=cache,
+                                      warm_start=not args.no_warm_start,
+                                      paranoid_verify=args.paranoid_verify)
         if outcome.result is None:
             raise PipelineError(outcome.summary())
         degree = outcome.achieved_degree
@@ -527,7 +545,8 @@ def cmd_bench(args) -> int:
                             measure_reference=not args.no_reference,
                             jobs=args.jobs,
                             cache=_open_cache(args),
-                            keep_going=args.keep_going)
+                            keep_going=args.keep_going,
+                            warm_start=not args.no_warm_start)
     parent = os.path.dirname(args.output)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -551,6 +570,8 @@ def cmd_bench(args) -> int:
             print(f"    reference interpreter: "
                   f"{entry['reference_wall_seconds']:.3f}s "
                   f"-> {entry['speedup_vs_reference']:.2f}x speedup")
+    if args.profile and result.get("partition_breakdown"):
+        print(_partition_profile_table(result["partition_breakdown"]))
     if "cache" in result:
         counters = result["cache"]
         print(f"  cache     {counters['hits']} hits, "
@@ -562,6 +583,66 @@ def cmd_bench(args) -> int:
             print(f"    {failure['task']}: {failure['error']}")
     print(f"wrote {args.output}")
     return EXIT_FAILURE if result.get("failures") else EXIT_OK
+
+
+def _partition_profile_table(breakdown: dict) -> str:
+    """The ``repro bench --profile`` partition-phase table.
+
+    One row per (app, degree): wall seconds, balanced-cut collapse
+    iterations, push-relabel discharges, and how many of the degree's
+    cuts started from a warm seed — enough to localize a partitioner
+    regression without loading a Chrome trace.
+    """
+    lines = ["  partition phases (per app x degree):",
+             "    app        D   seconds   cut_iters    pr_work  warm_hits"]
+    for app in sorted(breakdown):
+        for degree in sorted(breakdown[app], key=int):
+            cell = breakdown[app][degree]
+            lines.append(
+                f"    {app:10s} {int(degree):d} {cell['seconds']:9.4f} "
+                f"{cell['cut_iterations']:11d} {cell['pr_work']:10d} "
+                f"{cell['warm_hits']:10d}")
+    return "\n".join(lines)
+
+
+def cmd_plan(args) -> int:
+    """``repro plan``: pre-partition the (app x degree) matrix in parallel."""
+    from repro.eval.experiments import FIGURE19_APPS, FIGURE20_APPS
+    from repro.eval.sweep import plan_partitions
+
+    try:
+        degrees = [int(d) for d in args.degrees.split(",")]
+    except ValueError as exc:
+        raise CLIError(f"bad --degrees {args.degrees!r}: {exc}") from exc
+    if args.apps:
+        # --degrees is comma-separated, so accept "--apps rx,tx" as well
+        # as the nargs-style "--apps rx tx".
+        apps = [name for entry in args.apps
+                for name in entry.split(",") if name]
+    else:
+        apps = sorted(set(FIGURE19_APPS) | set(FIGURE20_APPS))
+    cache = _open_cache(args)
+    if cache is None and args.jobs > 1:
+        print("warning: --no-cache with -j > 1 plans in parallel but "
+              "persists nothing", file=sys.stderr)
+    results = plan_partitions(apps, degrees, packets=args.packets,
+                              seed=args.seed, jobs=args.jobs, cache=cache,
+                              warm_start=not args.no_warm_start,
+                              keep_going=args.keep_going)
+    failures = [entry for entry in results if entry.get("failed")]
+    breakdown = {entry["app"]: entry["partition_breakdown"]
+                 for entry in results if not entry.get("failed")}
+    total = sum(cell["seconds"] for per_app in breakdown.values()
+                for cell in per_app.values())
+    print(f"plan: {len(breakdown)}/{len(results)} apps x degrees "
+          f"{args.degrees} (-j {args.jobs}): "
+          f"{total:.3f}s partition work"
+          + ("" if cache is None else f", cached under {cache.root}"))
+    print(_partition_profile_table(breakdown))
+    for failure in failures:
+        print(f"  {failure['task']}: FAILED — {failure['error']}",
+              file=sys.stderr)
+    return EXIT_FAILURE if failures else EXIT_OK
 
 
 def cmd_fuzz(args) -> int:
@@ -587,7 +668,7 @@ def cmd_fuzz(args) -> int:
         raise CLIError(f"bad --degrees {args.degrees!r}: {exc}") from exc
     report = run_fuzz(args.seeds, start_seed=args.start_seed,
                       degrees=degrees, packets=args.packets,
-                      shrink=not args.no_shrink)
+                      shrink=not args.no_shrink, jobs=args.jobs)
     print(report.render())
     if args.out and report.failures:
         os.makedirs(args.out, exist_ok=True)
@@ -633,6 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=[s.value for s in Strategy])
     p_pipe.add_argument("--emit", action="store_true",
                         help="print the realized stage IR")
+    _add_partition_flags(p_pipe)
     _add_cache_flags(p_pipe)
     p_pipe.set_defaults(func=cmd_pipeline)
 
@@ -655,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="quarantine trapped packets instead of aborting")
     p_run.add_argument("--dead-letters", metavar="FILE",
                        help="write quarantined-packet records as JSON")
+    _add_partition_flags(p_run)
     _add_cache_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -732,8 +815,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--keep-going", action="store_true",
                          help="with -j: record failed sweep cells and "
                               "keep running instead of failing fast")
+    p_bench.add_argument("--no-warm-start", action="store_true",
+                         help="solve every cut cold instead of seeding it "
+                              "from related earlier solves")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="print the partition-phase table (per app x "
+                              "degree: seconds, cut iterations, pr work, "
+                              "warm-start hits)")
     _add_cache_flags(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_plan = sub.add_parser(
+        "plan", help="pre-partition the benchmark matrix into the cache")
+    p_plan.add_argument("--apps", nargs="*",
+                        help="apps to plan (default: the Figure 19+20 "
+                             "suite)")
+    p_plan.add_argument("--degrees", default="1,2,3,4,5,6,7,8,9",
+                        help="comma-separated pipeline degrees")
+    p_plan.add_argument("--packets", type=int, default=60)
+    p_plan.add_argument("--seed", type=int, default=7)
+    p_plan.add_argument("-j", "--jobs", type=int, default=1,
+                        help="fan apps over N worker processes; each "
+                             "worker keeps its app's whole degree row so "
+                             "warm starts still apply")
+    p_plan.add_argument("--no-warm-start", action="store_true",
+                        help="solve every cut cold instead of seeding it "
+                             "from related earlier solves")
+    p_plan.add_argument("--keep-going", action="store_true",
+                        help="record failed apps and keep planning "
+                             "instead of failing fast")
+    _add_cache_flags(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="fuzz the partitioner with generated programs")
@@ -747,6 +859,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="packets per differential run (default: 24)")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="report failing programs unshrunk")
+    p_fuzz.add_argument("-j", "--jobs", type=int, default=1,
+                        help="fan fuzz cases over N worker processes "
+                             "(identical report at any -j level)")
     p_fuzz.add_argument("--self-test", action="store_true",
                         help="seed known partition defects instead; the "
                              "verifier must catch every one")

@@ -241,51 +241,82 @@ class FuzzReport:
         }
 
 
+def _fuzz_case(seed: int, degree: int, packets: int,
+               shrink: bool, max_shrink_tests: int) -> FuzzFailure | None:
+    """Run (and, on failure, shrink) one fuzz case.
+
+    Module-level and fully determined by its arguments, so a process
+    pool can dispatch it by name and any worker produces the same
+    answer for the same seed.
+    """
+    source = random_pps_source(seed)
+    try:
+        check_program(source, degree, packets=packets, seed=seed)
+        return None
+    except CheckFailure as exc:
+        failure = FuzzFailure(seed=seed, degree=degree, phase=exc.phase,
+                              error=str(exc.cause), source=source)
+        if shrink:
+            signature = exc.signature
+
+            def still_fails(text: str) -> bool:
+                try:
+                    check_program(text, degree, packets=packets, seed=seed)
+                except CheckFailure as candidate:
+                    return candidate.signature == signature
+                except Exception:
+                    return False
+                return False
+
+            shrunk, tests = shrink_source(source, still_fails,
+                                          max_tests=max_shrink_tests)
+            failure.shrink_tests = tests
+            if shrunk != source:
+                failure.shrunk_source = shrunk
+        return failure
+
+
+def _fuzz_worker(args: tuple) -> FuzzFailure | None:
+    """Picklable pool entry point: unpack one :func:`_fuzz_case` call."""
+    return _fuzz_case(*args)
+
+
 def run_fuzz(seeds: int = 50, *, start_seed: int = 0,
              degrees: tuple = (2, 3, 4), packets: int = 24,
              shrink: bool = True, max_shrink_tests: int = 200,
-             progress=None) -> FuzzReport:
+             jobs: int = 1, progress=None) -> FuzzReport:
     """Fuzz ``seeds`` generated programs through the whole contract.
 
     Every case gets a deterministic degree from ``degrees`` (round
     robin) and a deterministic input stream, so a failing seed printed
     by CI reproduces locally with the same flags.  ``progress`` is an
     optional callback invoked with (seed, failure-or-None).
+
+    ``jobs > 1`` fans the cases over a process pool (``repro fuzz -j``).
+    Each case is a pure function of its seed, and results are merged in
+    seed order, so the report is identical at any parallelism level —
+    only ``progress`` timing changes (it still fires in seed order,
+    after the parallel region).
     """
     report = FuzzReport(seeds=seeds, start_seed=start_seed,
                         degrees=tuple(degrees), packets=packets)
-    for index in range(seeds):
-        seed = start_seed + index
-        degree = report.degrees[index % len(report.degrees)]
-        source = random_pps_source(seed)
+    calls = [(start_seed + index,
+              report.degrees[index % len(report.degrees)],
+              packets, shrink, max_shrink_tests)
+             for index in range(seeds)]
+    if jobs > 1 and len(calls) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = pool.map(_fuzz_worker, calls)
+    else:
+        outcomes = (_fuzz_case(*call) for call in calls)
+    for call, failure in zip(calls, outcomes):
         report.cases += 1
-        try:
-            check_program(source, degree, packets=packets, seed=seed)
-            failure = None
-        except CheckFailure as exc:
-            failure = FuzzFailure(seed=seed, degree=degree, phase=exc.phase,
-                                  error=str(exc.cause), source=source)
-            if shrink:
-                signature = exc.signature
-
-                def still_fails(text: str) -> bool:
-                    try:
-                        check_program(text, degree, packets=packets,
-                                      seed=seed)
-                    except CheckFailure as candidate:
-                        return candidate.signature == signature
-                    except Exception:
-                        return False
-                    return False
-
-                shrunk, tests = shrink_source(source, still_fails,
-                                              max_tests=max_shrink_tests)
-                failure.shrink_tests = tests
-                if shrunk != source:
-                    failure.shrunk_source = shrunk
+        if failure is not None:
             report.failures.append(failure)
         if progress is not None:
-            progress(seed, failure)
+            progress(call[0], failure)
     return report
 
 

@@ -109,6 +109,60 @@ def make_profiler(app: AppInstance):
     return profiler
 
 
+def partition_app(app: AppInstance, degrees, *, cache=None,
+                  warm_start: bool = True,
+                  costs: CostModel = NN_RING,
+                  strategy: Strategy = Strategy.PACKED,
+                  epsilon: float = 1.0 / 16.0,
+                  incremental: bool = True,
+                  interference: str = "exact"):
+    """Partition ``app`` at every degree > 1, sharing analyses and warm
+    starts across the sweep.
+
+    One :class:`~repro.analysis.context.AnalysisContext` (normalize /
+    profile / SSA / dependence computed once) and, unless ``warm_start``
+    is off, one :class:`~repro.flownet.warmstart.WarmStartCache` (cut
+    *i* of degree D seeds cut *i* of degree D+1) serve the whole degree
+    sweep.  Returns ``(transforms, breakdown)`` where ``transforms``
+    maps degree -> :class:`PipelineResult` and ``breakdown`` maps
+    ``str(degree)`` to per-degree phase stats: wall ``seconds``,
+    ``cut_iterations`` (balanced-cut collapse steps), ``pr_work``
+    (push-relabel discharges), and ``warm_hits`` (cuts whose initial
+    solve was seeded).  Cache hits report the stats recorded when the
+    artifact was first solved.
+    """
+    from time import perf_counter
+
+    from repro.analysis.context import AnalysisContext
+    from repro.flownet.warmstart import WarmStartCache
+
+    profiler = make_profiler(app)
+    context = AnalysisContext(app.module, app.pps_name)
+    warm = WarmStartCache() if warm_start else None
+    transforms: dict[int, PipelineResult] = {}
+    breakdown: dict[str, dict] = {}
+    for degree in sorted(set(degrees)):
+        if degree <= 1:
+            continue
+        start = perf_counter()
+        result = pipeline_pps(app.module, app.pps_name, degree,
+                              costs=costs, strategy=strategy,
+                              epsilon=epsilon, incremental=incremental,
+                              interference=interference,
+                              profiler=profiler, cache=cache,
+                              context=context, warm=warm)
+        seconds = perf_counter() - start
+        diagnostics = result.assignment.diagnostics
+        transforms[degree] = result
+        breakdown[str(degree)] = {
+            "seconds": round(seconds, 4),
+            "cut_iterations": sum(diag.iterations for diag in diagnostics),
+            "pr_work": sum(diag.pr_work for diag in diagnostics),
+            "warm_hits": sum(1 for diag in diagnostics if diag.warm_hit),
+        }
+    return transforms, breakdown
+
+
 def measure_pipeline(app: AppInstance, degree: int, *,
                      baseline: SequentialMeasurement | None = None,
                      costs: CostModel = NN_RING,
@@ -246,7 +300,8 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
                    degrees: list[int] | None = None,
                    measure_reference: bool = True,
                    jobs: int = 1, cache=None,
-                   keep_going: bool = False) -> dict:
+                   keep_going: bool = False,
+                   warm_start: bool = True) -> dict:
     """Run the headline performance benchmark (``repro bench``).
 
     Times the Figure 19/20 degree sweeps end to end, separating the three
@@ -293,7 +348,8 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
         return _bench_headline_parallel(
             packets=packets, seed=seed, degrees=degrees,
             measure_reference=measure_reference, jobs=jobs, cache=cache,
-            figure_apps=figure_apps, keep_going=keep_going)
+            figure_apps=figure_apps, keep_going=keep_going,
+            warm_start=warm_start)
 
     # Phase wall clocks; each phase also shows up as a span when the bench
     # runs under an active repro.obs tracer.
@@ -308,16 +364,13 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
 
     with phases.phase("partition", degrees=len(degrees)):
         transforms = {}
+        partition_breakdown: dict[str, dict] = {}
         for name, app in apps.items():
-            profiler = make_profiler(app)
-            for degree in degrees:
-                if degree > 1:
-                    transforms[name, degree] = pipeline_pps(
-                        app.module, app.pps_name, degree,
-                        costs=NN_RING, strategy=Strategy.PACKED,
-                        epsilon=1.0 / 16.0, incremental=True,
-                        interference="exact", profiler=profiler,
-                        cache=cache)
+            per_app, breakdown = partition_app(app, degrees, cache=cache,
+                                               warm_start=warm_start)
+            for degree, transform in per_app.items():
+                transforms[name, degree] = transform
+            partition_breakdown[name] = breakdown
 
     # Threaded-code compilation, measured cold (it is otherwise amortized
     # into the first simulation of each function).
@@ -398,6 +451,7 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
             "seed": seed,
             "degrees": degrees,
             "jobs": jobs,
+            "warm_start": warm_start,
             "python": sys.version.split()[0],
         },
         "build_seconds": round(phases["build"], 4),
@@ -405,6 +459,7 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
         "compile_seconds": round(phases["compile"], 4),
         "phase_seconds": {name: round(value, 4)
                           for name, value in sorted(phases.seconds.items())},
+        "partition_breakdown": partition_breakdown,
         "figures": figures,
         f"headline_speedup_degree{top}": headline,
     }
@@ -416,7 +471,8 @@ def bench_headline(*, packets: int = 60, seed: int = 7,
 def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
                              measure_reference: bool, jobs: int, cache,
                              figure_apps: dict,
-                             keep_going: bool = False) -> dict:
+                             keep_going: bool = False,
+                             warm_start: bool = True) -> dict:
     """The ``jobs > 1`` bench path: one sweep task per (figure, app)."""
     import sys
 
@@ -427,12 +483,14 @@ def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
     tasks = []
     for figure, names in figure_apps.items():
         tasks.extend(bench_tasks(names, degrees, packets=packets, seed=seed,
-                                 cache_dir=cache_dir, label=figure))
+                                 cache_dir=cache_dir, label=figure,
+                                 warm_start=warm_start))
     if measure_reference:
         tasks.extend(bench_tasks(figure_apps["figure19"], degrees,
                                  packets=packets, seed=seed,
                                  cache_dir=cache_dir, reference=True,
-                                 label="figure19:reference"))
+                                 label="figure19:reference",
+                                 warm_start=warm_start))
 
     phases = PhaseTimer()
     with phases.phase("sweep", jobs=jobs, tasks=len(tasks)):
@@ -485,14 +543,27 @@ def _bench_headline_parallel(*, packets: int, seed: int, degrees: list[int],
             if entry.get("cache"):
                 cache.merge_counters(entry["cache"])
 
+    # Per-app partition breakdowns come back from the workers; the
+    # reference cells re-partition from the shared cache, so prefer the
+    # non-reference cell's breakdown for each app.
+    partition_breakdown: dict[str, dict] = {}
+    for entry in completed:
+        if entry.get("partition_breakdown") is None:
+            continue
+        if entry["reference"] and entry["app"] in partition_breakdown:
+            continue
+        partition_breakdown[entry["app"]] = entry["partition_breakdown"]
+
     result = {
         "config": {
             "packets": packets,
             "seed": seed,
             "degrees": degrees,
             "jobs": jobs,
+            "warm_start": warm_start,
             "python": sys.version.split()[0],
         },
+        "partition_breakdown": partition_breakdown,
         "build_seconds": round(aggregate(completed, "build_seconds"), 4),
         "partition_seconds": round(aggregate(completed, "partition_seconds"),
                                    4),

@@ -50,7 +50,7 @@ class SweepError(ReproError):
 class SweepTask:
     """One self-contained sweep cell, picklable for worker dispatch."""
 
-    kind: str                       # "bench" | "chaos"
+    kind: str                       # "bench" | "chaos" | "partition"
     app: str
     degrees: tuple                  # pipeline degrees to measure
     packets: int
@@ -59,6 +59,7 @@ class SweepTask:
     plans: tuple | None = None      # chaos: builtin plan names (None = all)
     cache_dir: str | None = None    # shared CompileCache root
     label: str | None = None        # grouping tag (e.g. figure name)
+    warm_start: bool = True         # bench/partition: cross-degree seeding
 
     def describe(self) -> str:
         tag = f" [{self.label}]" if self.label else ""
@@ -74,6 +75,10 @@ class SweepTask:
                      if self.plans else "")
             return (f"repro chaos --app {self.app} --degrees {degrees} "
                     f"--packets {self.packets} --seed {self.seed}{plans}")
+        if self.kind == "partition":
+            warm = "" if self.warm_start else " --no-warm-start"
+            return (f"repro bench --packets {self.packets} -j 1{warm}  "
+                    f"# plan cell: app={self.app} degrees={degrees}")
         return (f"repro bench --packets {self.packets} -j 1  "
                 f"# cell: app={self.app} degrees={degrees} "
                 f"seed={self.seed}")
@@ -102,11 +107,30 @@ def derive_seed(base: int, *parts) -> int:
 def bench_tasks(apps: list[str], degrees: list[int], *, packets: int,
                 seed: int, cache_dir: str | None = None,
                 reference: bool = False,
-                label: str | None = None) -> list[SweepTask]:
+                label: str | None = None,
+                warm_start: bool = True) -> list[SweepTask]:
     """Bench cells ordered by app (each cell covers all its degrees)."""
     return [SweepTask(kind="bench", app=app, degrees=tuple(degrees),
                       packets=packets, seed=seed, reference=reference,
-                      cache_dir=cache_dir, label=label)
+                      cache_dir=cache_dir, label=label,
+                      warm_start=warm_start)
+            for app in apps]
+
+
+def partition_tasks(apps: list[str], degrees, *, packets: int, seed: int,
+                    cache_dir: str | None = None,
+                    warm_start: bool = True,
+                    label: str | None = None) -> list[SweepTask]:
+    """Partition-plan cells: one per app, covering its whole degree row.
+
+    A cell keeps all of an app's degrees together so the worker shares
+    one :class:`~repro.analysis.context.AnalysisContext` and one warm
+    -start cache across the row — the cross-degree seeding the planner
+    exists to exploit; parallelism comes from fanning the *apps*.
+    """
+    return [SweepTask(kind="partition", app=app, degrees=tuple(degrees),
+                      packets=packets, seed=seed, cache_dir=cache_dir,
+                      warm_start=warm_start, label=label)
             for app in apps]
 
 
@@ -137,7 +161,51 @@ def _execute(task: SweepTask) -> dict:
         return _execute_bench(task)
     if task.kind == "chaos":
         return _execute_chaos(task)
+    if task.kind == "partition":
+        return _execute_partition(task)
     raise SweepError(f"unknown sweep task kind {task.kind!r}")
+
+
+def _execute_partition(task: SweepTask) -> dict:
+    """Partition one app's whole degree row (the planner worker).
+
+    The results land in the shared compile cache, so a following bench /
+    fuzz / run phase gets pure cache hits; the returned record carries
+    the per-degree breakdown for profiling output.
+    """
+    from time import perf_counter
+
+    from repro.apps.suite import build_app
+    from repro.eval.metrics import partition_app
+
+    cache = _open_cache(task)
+    before = dict(cache.counters()) if cache is not None else {}
+    start = perf_counter()
+    app = build_app(task.app, packets=task.packets, seed=task.seed)
+    build_seconds = perf_counter() - start
+
+    start = perf_counter()
+    _, breakdown = partition_app(app, task.degrees, cache=cache,
+                                 warm_start=task.warm_start)
+    partition_seconds = perf_counter() - start
+    counters = dict(cache.counters()) if cache is not None else None
+    if counters:
+        counters = {key: counters.get(key, 0) - before.get(key, 0)
+                    for key in counters}
+    return {
+        "kind": "partition",
+        "app": task.app,
+        "label": task.label,
+        "seed": task.seed,
+        "degrees": sorted(task.degrees),
+        "warm_start": task.warm_start,
+        "partition_breakdown": breakdown,
+        "timing": {
+            "build_seconds": build_seconds,
+            "partition_seconds": partition_seconds,
+        },
+        "cache": counters,
+    }
 
 
 def _execute_bench(task: SweepTask) -> dict:
@@ -145,11 +213,10 @@ def _execute_bench(task: SweepTask) -> dict:
 
     from repro.apps.suite import build_app
     from repro.eval.metrics import (
-        make_profiler,
         measure_pipeline,
         measure_sequential,
+        partition_app,
     )
-    from repro.pipeline.transform import pipeline_pps
     from repro.runtime.compile import compile_function
     from repro.runtime.mode import reference_mode
 
@@ -158,13 +225,9 @@ def _execute_bench(task: SweepTask) -> dict:
     app = build_app(task.app, packets=task.packets, seed=task.seed)
     build_seconds = perf_counter() - start
 
-    profiler = make_profiler(app)
     start = perf_counter()
-    transforms = {
-        degree: pipeline_pps(app.module, app.pps_name, degree,
-                             profiler=profiler, cache=cache)
-        for degree in task.degrees if degree > 1
-    }
+    transforms, breakdown = partition_app(app, task.degrees, cache=cache,
+                                          warm_start=task.warm_start)
     partition_seconds = perf_counter() - start
 
     start = perf_counter()
@@ -198,6 +261,7 @@ def _execute_bench(task: SweepTask) -> dict:
         "seed": task.seed,
         "degrees": sorted(task.degrees),
         "speedup_by_degree": series,
+        "partition_breakdown": breakdown,
         "simulated_instructions": instructions,
         "timing": {
             "build_seconds": build_seconds,
@@ -242,6 +306,42 @@ def _execute_chaos(task: SweepTask) -> dict:
         "timing": {"wall_seconds": wall},
         "cache": cache.counters() if cache is not None else None,
     }
+
+
+# -- the partition planner --------------------------------------------------
+
+
+def plan_partitions(apps: list[str], degrees, *, packets: int, seed: int,
+                    jobs: int = 1, cache=None, warm_start: bool = True,
+                    keep_going: bool = False) -> list[dict]:
+    """Partition the whole (app x degree) matrix up front, in parallel.
+
+    Fans one :func:`partition_tasks` cell per app over the sweep runner
+    (``jobs`` worker processes) with all results stored through the
+    shared on-disk compile ``cache`` — after planning, a cold ``repro
+    bench`` / ``repro fuzz`` / ``repro run`` gets pure cache hits for
+    every partition it needs.  Within each cell the worker shares one
+    analysis context and warm-start cache across the degree row, so the
+    parallel plan produces partitions bit-identical to a serial sweep
+    (and to cold, unseeded solves).
+
+    Returns the task-order list of worker records (app, per-degree
+    breakdown, timings, cache counter deltas).  ``cache`` may be ``None``
+    (the plan then only returns the breakdown — nothing persists), but
+    that defeats the point when ``jobs > 1``.
+    """
+    cache_dir = None
+    if cache is not None:
+        cache_dir = str(getattr(cache, "root", cache))
+    tasks = partition_tasks(sorted(set(apps)), degrees, packets=packets,
+                            seed=seed, cache_dir=cache_dir,
+                            warm_start=warm_start)
+    results = run_sweep(tasks, jobs=jobs, keep_going=keep_going)
+    if cache is not None:
+        for entry in results:
+            if entry.get("cache"):
+                cache.merge_counters(entry["cache"])
+    return results
 
 
 # -- the runner -------------------------------------------------------------
@@ -338,7 +438,8 @@ def _guarded(worker, task: SweepTask, *, keep_going: bool = False) -> dict:
 
 def deterministic_view(results: list[dict]) -> list[dict]:
     """Results with the nondeterministic fields (wall-clock timing,
-    cache hit patterns) stripped — the byte-identical part of a sweep."""
+    cache hit patterns, the per-degree partition breakdown — it embeds
+    wall seconds) stripped — the byte-identical part of a sweep."""
     return [{key: value for key, value in result.items()
-             if key not in ("timing", "cache")}
+             if key not in ("timing", "cache", "partition_breakdown")}
             for result in results]

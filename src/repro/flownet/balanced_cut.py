@@ -53,6 +53,8 @@ class BalancedCutResult:
     weight: int = 0
     dim_weights: tuple = ()
     dim_deviation: float = 0.0
+    pr_work: int = 0        # push-relabel discharge operations expended
+    warm_seeded: int = 0    # edges seeded from a warm-start snapshot
 
 
 @dataclass
@@ -70,12 +72,22 @@ class BalancedCut:
     incremental: bool = True
     max_iterations: int = 10_000
     forceable: object = None  # predicate(key) -> bool; None = every node
+    _fmap: list | None = None  # per-node forceable verdicts, set by find()
+    _base_edge_count: int = 0  # pre-collapse edge count, set by find()
 
     def _is_forceable(self, network: FlowNetwork, node: int) -> bool:
         """Only *program* nodes may be contracted into the source or sink.
 
         Variable/control nodes carry ∞ edges to their consumers; forcing
-        one would wrongly pin every consumer to that side of the cut."""
+        one would wrongly pin every consumer to that side of the cut.
+
+        The verdict per node never changes during a search (collapses add
+        edges, not nodes), so :meth:`find` precomputes a per-node map and
+        the hot constraint checks hit a list index instead of a predicate
+        call."""
+        fmap = self._fmap
+        if fmap is not None and node < len(fmap):
+            return fmap[node]
         if self.forceable is None:
             return True
         return bool(self.forceable(network.key_of(node)))
@@ -86,9 +98,10 @@ class BalancedCut:
             return ()
         n = len(self._dim_targets)
         totals = [0.0] * n
-        for node in side:
-            vector = self._dims.get(node)
-            if vector:
+        # Iterate the dims map, not the side: only program nodes carry
+        # vectors, while sides also hold variable/control nodes.
+        for node, vector in self._dims.items():
+            if node in side:
                 for index in range(n):
                     totals[index] += vector[index]
         return tuple(totals)
@@ -105,7 +118,8 @@ class BalancedCut:
 
     def find(self, network: FlowNetwork, target_weight: float, *,
              dims: dict[int, tuple] | None = None,
-             dim_targets: tuple | None = None) -> BalancedCutResult:
+             dim_targets: tuple | None = None,
+             warm_seed: dict[tuple, int] | None = None) -> BalancedCutResult:
         """Find a minimum cut whose source side weighs ≈ ``target_weight``.
 
         ``network`` is consumed (collapse edges are added); pass a clone if
@@ -116,6 +130,13 @@ class BalancedCut:
         vector (e.g. profiled per-traffic-class instruction counts) and,
         among the scalar-balanced cuts, the one minimizing the worst
         per-dimension deviation from ``dim_targets`` is chosen.
+
+        ``warm_seed`` optionally provides ``(src_key, dst_key) -> flow``
+        recorded from a related earlier solve (see
+        :mod:`repro.flownet.warmstart`); the initial max flow then starts
+        from the repaired seed preflow instead of zero.  The result is
+        bit-identical either way — the collapse trajectory depends only on
+        the canonical min-cut sides, which every maximum flow shares.
         """
         assert network.source is not None and network.sink is not None
         weights = network.weights
@@ -123,12 +144,33 @@ class BalancedCut:
         high = (1.0 + self.epsilon) * target_weight
         self._dims = dims or {}
         self._dim_targets = dim_targets or ()
+        if self.forceable is None:
+            self._fmap = None
+        else:
+            forceable = self.forceable
+            key_of = network.key_of
+            self._fmap = [bool(forceable(key_of(node)))
+                          for node in range(network.node_count)]
 
+        # Edges added after this point are collapse edges (s->v / w->t);
+        # a forced node always lands on its forced side of every min cut,
+        # so those edges never cross a cut and the frontier scan can stop
+        # at the original edge list.
+        self._base_edge_count = len(network.forward_edges)
         solver = PushRelabel(network)
-        solver.max_flow()
+        warm_seeded = 0
+        if warm_seed:
+            network.reset_flow()
+            warm_seeded = solver.seed_preflow(warm_seed)
+            solver.resume()
+        else:
+            solver.max_flow()
+        pr_work = 0
+        all_nodes = frozenset(range(network.node_count))
         source_forced: set[int] = {network.source}
         sink_forced: set[int] = {network.sink}
         best: BalancedCutResult | None = None
+        best_nodes: set[int] = set()
         iterations = 0
 
         def side_weight(side: set[int]) -> int:
@@ -137,10 +179,11 @@ class BalancedCut:
 
         def as_result(side: set[int], cut_value: int, weight: int,
                       iteration: int) -> BalancedCutResult:
+            # source_side stays empty until acceptance: the node->key set
+            # is only materialized for the cut actually returned.
             dim_weights = self._side_dims(side)
             return BalancedCutResult(
-                source_side={network.key_of(node) for node in side
-                             if node not in (network.source, network.sink)},
+                source_side=set(),
                 cut_value=cut_value,
                 balanced=low <= weight <= high,
                 iterations=iteration,
@@ -159,8 +202,7 @@ class BalancedCut:
             # reachability from s) and the maximal one (complement of the
             # nodes reaching t).
             min_side = solver.min_cut_source_side()
-            max_side = (set(range(network.node_count))
-                        - solver.min_cut_sink_side())
+            max_side = all_nodes - solver.min_cut_sink_side()
             min_weight = side_weight(min_side)
             max_weight = side_weight(max_side)
             accepted = False
@@ -169,6 +211,7 @@ class BalancedCut:
                 candidate = as_result(side, cut_value, weight, iterations)
                 if best is None or self._better(candidate, best, target_weight):
                     best = candidate
+                    best_nodes = side
                     accepted = True
             balanced_now = (low <= min_weight <= high) or (low <= max_weight <= high)
             obs.instant("cut_iteration", cat="flownet",
@@ -185,28 +228,39 @@ class BalancedCut:
             if min_weight > high:
                 # Even the lightest min cut is too heavy: shed nodes into
                 # the sink (accepting a costlier cut).
+                grew_source = False
                 moved = self._grow_sink(network, solver, min_side,
                                         source_forced, sink_forced)
             elif max_weight < high:
                 # Even the heaviest min cut is too light: absorb nodes into
                 # the source.
+                grew_source = True
                 moved = self._grow_source(network, solver, max_side,
                                           source_forced, sink_forced)
             else:
                 # The balance point lies strictly between the extreme min
                 # cuts: grow the minimal side one (cheap) node at a time.
+                grew_source = True
                 moved = self._grow_source(network, solver, min_side,
                                           source_forced, sink_forced)
             if not moved:
                 break
             if self.incremental:
-                solver.resume()
+                # Source-side growth only adds (saturated) source edges,
+                # so the existing exact labeling stays valid and the
+                # global relabel can be skipped (see PushRelabel.resume).
+                solver.resume(relabel=not grew_source)
             else:
+                pr_work += solver.work
                 solver = PushRelabel(network)
                 solver.max_flow()
 
         assert best is not None
+        best.source_side = {network.key_of(node) for node in best_nodes
+                            if node not in (network.source, network.sink)}
         best.iterations = iterations
+        best.pr_work = pr_work + solver.work
+        best.warm_seeded = warm_seeded
         return best
 
     # -- collapse steps ------------------------------------------------------
@@ -275,8 +329,7 @@ class BalancedCut:
         on_target_side = ((lambda node: node not in source_side) if outward
                           else (lambda node: node in source_side))
         seeds: set[int] = set()
-        for index in range(0, len(network.edges), 2):  # forward half-edges
-            edge = network.edges[index]
+        for edge in network.forward_edges[:self._base_edge_count]:
             src_in = edge.src in source_side
             dst_in = edge.dst in source_side
             if src_in == dst_in:
@@ -295,9 +348,11 @@ class BalancedCut:
                 result.add(node)
                 continue
             # Walk through variable/control nodes to their program nodes.
-            for index in network.adjacency[node]:
-                edge = network.edges[index]
-                neighbor = edge.dst if edge.src == node else edge.src
+            # Every adjacency slot of `node` has src == node (forward
+            # edges and reverse stubs alike), so dst is always the
+            # neighbor, whichever direction the underlying edge points.
+            for edge in network.adjacency_edges[node]:
+                neighbor = edge.dst
                 if (neighbor in seen or neighbor == network.source
                         or neighbor == network.sink):
                     continue
@@ -320,19 +375,27 @@ class BalancedCut:
         smallest index for determinism.
         """
         forced = source_forced if to_source else sink_forced
-        ready_all = [
-            node for node in range(network.node_count)
-            if node not in source_forced and node not in sink_forced
-            and self._is_forceable(network, node)
-            and self._ready(network, node, forced, to_source=to_source)
-            and self._collapse_feasible(network, node, source_forced,
-                                        sink_forced, to_source=to_source)
-        ]
-        if not ready_all:
-            return None
+
+        def eligible(node: int) -> bool:
+            return (node not in source_forced and node not in sink_forced
+                    and self._is_forceable(network, node)
+                    and self._ready(network, node, forced,
+                                    to_source=to_source)
+                    and self._collapse_feasible(network, node, source_forced,
+                                                sink_forced,
+                                                to_source=to_source))
+
+        # Cut-adjacent candidates first: readiness/feasibility checks are
+        # the expensive part, so only when no frontier node qualifies does
+        # the search widen to every node (the same pool the exhaustive
+        # scan would prefer anyway).
         frontier = self._frontier(network, source_side, outward=to_source)
-        preferred = [node for node in ready_all if node in frontier]
-        pool = preferred or ready_all
+        pool = [node for node in frontier if eligible(node)]
+        if not pool:
+            pool = [node for node in range(network.node_count)
+                    if eligible(node)]
+            if not pool:
+                return None
         if self._dims:
             # Prefer nodes dense in the most-deficient dimension (growing
             # the source) or in the most-excessive one (shedding to the
@@ -371,17 +434,11 @@ class BalancedCut:
         — i.e. predecessor in stage order — is already source-forced, and
         symmetrically for the sink.
         """
-        for index in network.adjacency[node]:
-            edge = network.edges[index]
-            if to_source:
-                if edge.src != node or edge.cap < _INF_THRESHOLD:
-                    continue
-                neighbor = edge.dst
-            else:
-                pair = network.edges[edge.rev]
-                if pair.dst != node or pair.cap < _INF_THRESHOLD:
-                    continue
-                neighbor = pair.src
+        # The network maintains the ∞ neighbors as static int lists
+        # (inf_out / inf_in) — ∞ edges never change, so no capacity
+        # filtering is needed here.
+        neighbors = network.inf_out[node] if to_source else network.inf_in[node]
+        for neighbor in neighbors:
             if neighbor in forced:
                 continue
             if not self._is_forceable(network, neighbor):
@@ -403,24 +460,14 @@ class BalancedCut:
         seen = {node}
         queue = deque([node])
         blocked = sink_forced if to_source else source_forced
+        # Pure int walk over the static ∞ neighbor lists: forward uses
+        # inf_out, backward inf_in (∞ edges never change once added).
+        adjacency = network.inf_out if to_source else network.inf_in
         while queue:
             current = queue.popleft()
             if current in blocked:
                 return False
-            for index in network.adjacency[current]:
-                edge = network.edges[index]
-                if to_source:
-                    # Follow ∞ forward edges out of `current`.
-                    if edge.src != current or edge.cap < _INF_THRESHOLD:
-                        continue
-                    nxt = edge.dst
-                else:
-                    # Follow ∞ in-edges of `current`: the paired half-edge
-                    # of a reverse stub in our adjacency list.
-                    pair = network.edges[edge.rev]
-                    if pair.dst != current or pair.cap < _INF_THRESHOLD:
-                        continue
-                    nxt = pair.src
+            for nxt in adjacency[current]:
                 if nxt not in seen:
                     seen.add(nxt)
                     queue.append(nxt)

@@ -69,7 +69,26 @@ def build_cut_network(model: LoopDependenceModel, remaining: set[int],
     ``remaining`` are the unit ids still to be partitioned; ``placed`` are
     units already assigned to earlier stages (their live values enter from
     the source).
+
+    The first cut of every degree sees the same input (all units
+    remaining, nothing placed), and the balanced-cut search consumes its
+    network — so that network is built once per model and handed out as
+    a clone, which is much cheaper than re-walking the variable and
+    control maps for each degree.
     """
+    if not placed and remaining == set(model.units.members):
+        cached = getattr(model, "_first_cut_template", None)
+        if cached is not None and cached[0] is costs:
+            return CutNetwork(network=cached[1].clone(),
+                              units=set(remaining))
+        cut = _build_cut_network(model, remaining, placed, costs)
+        model._first_cut_template = (costs, cut.network.clone())
+        return cut
+    return _build_cut_network(model, remaining, placed, costs)
+
+
+def _build_cut_network(model: LoopDependenceModel, remaining: set[int],
+                       placed: set[int], costs: CostModel) -> CutNetwork:
     net = FlowNetwork()
     net.add_node(SOURCE)
     net.add_node(SINK)
@@ -77,6 +96,20 @@ def build_cut_network(model: LoopDependenceModel, remaining: set[int],
     net.set_sink(SINK)
     for unit in sorted(remaining):
         net.add_node(unit_key(unit), weight=model.unit_weight(unit))
+
+    # Direction constraints are ∞ edges (dst_unit -> src_unit); many
+    # variables/controls relate the same unit pair, and parallel ∞ edges
+    # are pure redundancy — they never saturate, so reachability (and
+    # with it every min-cut side) is identical with one edge per pair.
+    # One dedup set covers all four constraint emitters below.
+    seen_pairs: set[tuple[int, int]] = set()
+
+    def constrain(later_unit: int, earlier_unit: int) -> None:
+        pair = (later_unit, earlier_unit)
+        if pair not in seen_pairs:
+            seen_pairs.add(pair)
+            net.add_edge(unit_key(later_unit), unit_key(earlier_unit),
+                         INFINITE_CAPACITY)
 
     # Anchors: the header starts stage 1 (only relevant for the first cut);
     # the latch ends the final stage.
@@ -99,6 +132,19 @@ def build_cut_network(model: LoopDependenceModel, remaining: set[int],
             origin = SOURCE  # already transmitted once; forwarding costs again
         else:
             continue
+        if len(live_uses) == 1:
+            # Single consumer: the variable node is a degree-2 pass-through
+            # (finite def edge in, one ∞ edge out), so it collapses into a
+            # direct def edge of the same capacity.  Every maximum flow and
+            # every residual path through the gadget maps 1:1 onto the
+            # direct edge, so cuts, cut values, and the canonical min-cut
+            # sides over program nodes are unchanged — the network is just
+            # one node and one edge smaller for the solver's BFS loops.
+            (use_unit,) = live_uses
+            net.add_edge(origin, unit_key(use_unit), costs.vcost(info.words))
+            if def_unit in remaining:
+                constrain(use_unit, def_unit)
+            continue
         key = var_key(reg)
         if not net.has_node(key):
             net.add_node(key, weight=0)
@@ -107,8 +153,7 @@ def build_cut_network(model: LoopDependenceModel, remaining: set[int],
             net.add_edge(key, unit_key(use_unit), INFINITE_CAPACITY)
             if def_unit in remaining:
                 # Direction constraint: the use can never precede the def.
-                net.add_edge(unit_key(use_unit), unit_key(def_unit),
-                             INFINITE_CAPACITY)
+                constrain(use_unit, def_unit)
 
     # Control nodes (step 1.6.4 / 1.6.7).
     for brancher, dependents in model.controlled.items():
@@ -124,6 +169,13 @@ def build_cut_network(model: LoopDependenceModel, remaining: set[int],
             origin = SOURCE
         else:
             continue
+        if len(live_deps) == 1:
+            # Same pass-through collapse as single-use variables above.
+            (dep_unit,) = live_deps
+            net.add_edge(origin, unit_key(dep_unit), costs.ccost)
+            if branch_unit in remaining:
+                constrain(dep_unit, branch_unit)
+            continue
         key = ctl_key(brancher)
         if not net.has_node(key):
             net.add_node(key, weight=0)
@@ -131,22 +183,15 @@ def build_cut_network(model: LoopDependenceModel, remaining: set[int],
         for dep_unit in sorted(live_deps):
             net.add_edge(key, unit_key(dep_unit), INFINITE_CAPACITY)
             if branch_unit in remaining:
-                net.add_edge(unit_key(dep_unit), unit_key(branch_unit),
-                             INFINITE_CAPACITY)
+                constrain(dep_unit, branch_unit)
 
     # Ordering constraints (memory / channels): direction only.
-    seen_pairs: set[tuple[int, int]] = set()
     for edge in model.unit_edges():
         if edge.kind is DepKind.COLOCATE:
             continue  # collapsed into one unit already
         if edge.src not in remaining or edge.dst not in remaining:
             continue
-        pair = (edge.dst, edge.src)
-        if pair in seen_pairs:
-            continue
-        seen_pairs.add(pair)
-        net.add_edge(unit_key(edge.dst), unit_key(edge.src),
-                     INFINITE_CAPACITY)
+        constrain(edge.dst, edge.src)
 
     # Control-flow contiguity: a cut is "a set of control flow points that
     # divide the PPS loop body into two pieces" — each stage must be a
@@ -160,11 +205,6 @@ def build_cut_network(model: LoopDependenceModel, remaining: set[int],
                 continue
             if src_unit not in remaining or dst_unit not in remaining:
                 continue
-            pair = (dst_unit, src_unit)
-            if pair in seen_pairs:
-                continue
-            seen_pairs.add(pair)
-            net.add_edge(unit_key(dst_unit), unit_key(src_unit),
-                         INFINITE_CAPACITY)
+            constrain(dst_unit, src_unit)
 
     return CutNetwork(network=net, units=set(remaining), placed_units=set(placed))

@@ -1,19 +1,36 @@
 """Goldberg–Tarjan push-relabel maximum flow (paper reference [12]).
 
-FIFO active-node selection with the gap heuristic and periodic global
+FIFO active-node selection with current-arc discharge and periodic global
 relabeling.  The solver supports *warm restarts*: after the balanced-cut
 loop collapses nodes into the source (by adding an infinite-capacity edge
 from the source), ``resume`` keeps the existing preflow, re-saturates the
 source edges, refreshes labels, and continues — the incremental scheme the
 paper describes in §3.3 (implemented with exact-distance relabeling, which
 keeps the labeling valid by construction).
+
+``seed_preflow`` generalizes the warm restart across *related* networks:
+flows recorded from an earlier solve (same cut index at the previous
+degree, or the previous cut of the same degree) are installed edge-by-edge
+wherever the key pair still exists, clipped to capacity, and repaired into
+a valid preflow; ``resume`` then completes it to a maximum flow.  Any
+valid preflow converges to *a* maximum flow, and the min-cut sides the
+balanced-cut driver reads (residual reachability) are the canonical
+minimal/maximal sides — identical for every maximum flow — so seeding
+never changes the resulting cut, only the work to find it.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.flownet.network import FlowNetwork
+
+#: Discharges between periodic global relabels, as a multiple of the node
+#: count.  Any positive value yields the same maximum flow (and therefore
+#: the same canonical min-cut sides); it only trades BFS passes against
+#: wasted low-label discharge work.  The balanced-cut collapse loop mostly
+#: re-solves after tiny perturbations, where fresh exact distances let the
+#: new excess drain almost directly — measured on the benchmark suite,
+#: n/2 beats the textbook 4n by ~3x less discharge work.
+RELABEL_PERIOD_FACTOR = 0.5
 
 
 class PushRelabel:
@@ -27,10 +44,15 @@ class PushRelabel:
         count = network.node_count
         self.excess = [0] * count
         self.label = [0] * count
-        self._active: deque[int] = deque()
+        self._active: list[int] = []
+        self._active_head = 0
         self._in_queue = [False] * count
+        self._current = [0] * count  # current-arc position per node
         self._work_since_relabel = 0
         self._started = False
+        #: Cumulative discharge operations (a machine-independent work
+        #: metric; surfaced per cut in the diagnostics).
+        self.work = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -46,39 +68,78 @@ class PushRelabel:
         self._discharge_loop()
         return self.flow_value()
 
-    def resume(self) -> int:
+    def resume(self, *, relabel: bool = True) -> int:
         """Continue after network edges were added (warm restart).
 
-        Keeps the current flow as a preflow, saturates source edges, and
-        recomputes exact labels (global relabel) so the labeling is valid.
+        Keeps the current flow as a preflow (the excess bookkeeping stays
+        exact across collapses — adding edges does not change any flow),
+        saturates source edges, and recomputes exact labels (global
+        relabel) so the labeling is valid.
+
+        ``relabel=False`` skips the global relabel.  That is sound when
+        every edge added since the last solve leaves the source (the
+        source-collapse case): saturating those edges removes their
+        forward residual, and the reverse residuals they create point
+        *into* the source, which no simple augmenting path can use — so
+        the pre-existing exact labeling still certifies termination at a
+        maximum flow.  Edges added into the sink create forward residual
+        edges that can carry new flow, so sink-side collapses must keep
+        the full relabel.
         """
         if not self._started:
             return self.max_flow()
         count = self.network.node_count
-        # Excess bookkeeping may be stale if edges were added: recompute
-        # from flow conservation.
-        self.excess = [0] * count
-        for edge in self.network.edges:
-            if edge.flow > 0:
-                self.excess[edge.dst] += edge.flow
-                self.excess[edge.src] -= edge.flow
-        self.excess[self.source] = 0
-        self._global_relabel()
-        self.label[self.source] = count
+        if relabel:
+            self._global_relabel()
+            self.label[self.source] = count
         self._saturate_source()
+        excess = self.excess
+        source = self.source
+        sink = self.sink
         for node in range(count):
-            if (node not in (self.source, self.sink) and self.excess[node] > 0
-                    and not self._in_queue[node]):
+            if excess[node] > 0 and node != source and node != sink:
                 self._enqueue(node)
         self._discharge_loop()
         return self.flow_value()
 
+    def seed_preflow(self, flows: dict[tuple, int]) -> int:
+        """Install a best-effort preflow from ``(src_key, dst_key) -> flow``.
+
+        Flows are applied to whichever forward edges still exist in this
+        network, clipped to capacity, then *repaired* into a valid preflow
+        (no node except the source ships more than it receives) by backing
+        flow off over-drafted nodes.  Returns the number of seeded edges;
+        call :meth:`resume` afterwards to complete the preflow to a
+        maximum flow.
+        """
+        network = self.network
+        edges = network.edges
+        key_of = network.key_of
+        budget = dict(flows)
+        seeded = 0
+        for edge in network.forward_edges:
+            available = budget.get((key_of(edge.src), key_of(edge.dst)))
+            if not available:
+                continue
+            take = edge.cap if edge.cap < available else available
+            if take <= 0:
+                continue
+            edge.flow = take
+            edges[edge.rev].flow = -take
+            budget[(key_of(edge.src), key_of(edge.dst))] = available - take
+            seeded += 1
+        if seeded:
+            self._repair_preflow()
+        else:
+            self.excess = [0] * network.node_count
+        self._started = True
+        return seeded
+
     def flow_value(self) -> int:
         """Current net flow into the sink."""
         total = 0
-        for index in self.network.adjacency[self.sink]:
-            edge = self.network.edges[index]
-            total -= edge.flow  # reverse edges carry negative of inflow
+        for edge in self.network.adjacency_edges[self.sink]:
+            total -= edge.flow  # reverse edges carry -inflow
         return total
 
     def min_cut_source_side(self) -> set[int]:
@@ -104,17 +165,68 @@ class PushRelabel:
             self._in_queue[node] = True
             self._active.append(node)
 
+    def _repair_preflow(self) -> None:
+        """Recompute excess from the seeded flows and fix violations.
+
+        A node that ships more than it receives (negative excess) has its
+        outgoing flows reduced until it balances; reductions propagate
+        downstream through a worklist.  Total positive flow strictly
+        decreases at every step, so the repair terminates; the source is
+        exempt (it may emit arbitrarily)."""
+        network = self.network
+        edges = network.edges
+        adjacency_all = network.adjacency_edges
+        count = network.node_count
+        source = self.source
+        excess = [0] * count
+        for edge in network.forward_edges:
+            flow = edge.flow
+            if flow > 0:
+                excess[edge.dst] += flow
+                excess[edge.src] -= flow
+        pending = [node for node in range(count)
+                   if excess[node] < 0 and node != source]
+        head = 0
+        while head < len(pending):
+            node = pending[head]
+            head += 1
+            deficit = -excess[node]
+            if deficit <= 0:
+                continue
+            # Stubs never carry positive flow (seeds land on forward
+            # edges only), so the flow filter alone selects real
+            # outgoing flow.
+            for edge in adjacency_all[node]:
+                if edge.flow <= 0:
+                    continue
+                give = edge.flow if edge.flow < deficit else deficit
+                edge.flow -= give
+                edges[edge.rev].flow += give
+                deficit -= give
+                dst = edge.dst
+                excess[dst] -= give
+                if excess[dst] < 0 and dst != source:
+                    pending.append(dst)
+                if deficit <= 0:
+                    break
+            excess[node] = -deficit
+        self.excess = excess
+
     def _saturate_source(self) -> None:
-        for index in self.network.adjacency[self.source]:
-            edge = self.network.edges[index]
-            delta = edge.residual
-            if delta <= 0 or edge.src != self.source:
+        edges = self.network.edges
+        excess = self.excess
+        source = self.source
+        sink = self.sink
+        for edge in self.network.adjacency_edges[source]:
+            delta = edge.cap - edge.flow
+            if delta <= 0:
                 continue
             edge.flow += delta
-            self.network.edges[edge.rev].flow -= delta
-            self.excess[edge.dst] += delta
-            if edge.dst not in (self.source, self.sink):
-                self._enqueue(edge.dst)
+            edges[edge.rev].flow -= delta
+            dst = edge.dst
+            excess[dst] += delta
+            if dst != source and dst != sink:
+                self._enqueue(dst)
 
     def _global_relabel(self) -> None:
         """Set labels to exact residual BFS distances.
@@ -123,7 +235,10 @@ class PushRelabel:
         nodes that cannot get ``n + (residual distance to the source)``, the
         standard two-phase labeling that lets stranded excess drain back.
         """
-        count = self.network.node_count
+        network = self.network
+        inf_in = network.inf_in
+        fin_redges = network.fin_redges
+        count = network.node_count
         unset = 2 * count + 1
         distance = [unset] * count
 
@@ -131,17 +246,25 @@ class PushRelabel:
             if distance[start] != unset:
                 return
             distance[start] = base
-            queue = deque([start])
-            while queue:
-                node = queue.popleft()
-                for index in self.network.adjacency[node]:
-                    edge = self.network.edges[index]
-                    # Residual edge (edge.dst -> node) exists if the paired
-                    # reverse half-edge has residual capacity.
-                    reverse = self.network.edges[edge.rev]
-                    if reverse.residual > 0 and distance[reverse.src] == unset:
-                        distance[reverse.src] = distance[node] + 1
-                        queue.append(reverse.src)
+            queue = [start]
+            head = 0
+            while head < len(queue):
+                node = queue[head]
+                head += 1
+                next_distance = distance[node] + 1
+                # ∞ in-edges always have residual capacity; finite paired
+                # reverses (real finite edges and stubs of our outgoing
+                # edges) are checked dynamically.
+                for src in inf_in[node]:
+                    if distance[src] == unset:
+                        distance[src] = next_distance
+                        queue.append(src)
+                for reverse in fin_redges[node]:
+                    if reverse.cap > reverse.flow:
+                        src = reverse.src
+                        if distance[src] == unset:
+                            distance[src] = next_distance
+                            queue.append(src)
 
         bfs(self.sink, 0)
         bfs(self.source, count)
@@ -149,70 +272,126 @@ class PushRelabel:
             if distance[node] == unset:
                 distance[node] = 2 * count
         self.label = distance
+        self._current = [0] * count
         self._work_since_relabel = 0
 
     def _discharge_loop(self) -> None:
-        count = self.network.node_count
-        relabel_period = max(4 * count, 64)
-        while self._active:
-            node = self._active.popleft()
-            self._in_queue[node] = False
-            self._discharge(node)
-            self._work_since_relabel += 1
-            if self._work_since_relabel >= relabel_period:
+        network = self.network
+        count = network.node_count
+        relabel_period = max(int(RELABEL_PERIOD_FACTOR * count), 64)
+        limit = 2 * count + 1
+        source = self.source
+        sink = self.sink
+        active = self._active
+        work = 0
+        # The per-node discharge is inlined: it runs hundreds of
+        # thousands of times per partition, so the name bindings are
+        # hoisted out of the loop entirely.  A global relabel replaces
+        # self.label / self._current (and nothing else), so only those
+        # two are re-fetched, right after relabeling.
+        edges = network.edges
+        adjacency_all = network.adjacency_edges
+        excess = self.excess
+        in_queue = self._in_queue
+        label = self.label
+        current = self._current
+        since_relabel = self._work_since_relabel
+        head = self._active_head
+        while head < len(active):
+            node = active[head]
+            head += 1
+            in_queue[node] = False
+            adjacency = adjacency_all[node]
+            degree = len(adjacency)
+            arc = current[node]
+            label_node = label[node]
+            remaining = excess[node]
+            while remaining > 0:
+                if arc >= degree:
+                    # Full scan without push: relabel to the exact minimum.
+                    new_label = None
+                    for edge in adjacency:
+                        if edge.cap > edge.flow:
+                            candidate = label[edge.dst] + 1
+                            if new_label is None or candidate < new_label:
+                                new_label = candidate
+                    if new_label is None or new_label > limit:
+                        # No residual edge at all: the excess is truly
+                        # stranded (only on disconnected inputs).
+                        break
+                    label[node] = label_node = new_label
+                    arc = 0
+                    continue
+                edge = adjacency[arc]
+                residual = edge.cap - edge.flow
+                if residual > 0 and label_node == label[edge.dst] + 1:
+                    delta = remaining if remaining < residual else residual
+                    edge.flow += delta
+                    edges[edge.rev].flow -= delta
+                    remaining -= delta
+                    dst = edge.dst
+                    excess[dst] += delta
+                    if dst != source and dst != sink and not in_queue[dst]:
+                        in_queue[dst] = True
+                        active.append(dst)
+                else:
+                    arc += 1
+            excess[node] = remaining
+            current[node] = arc
+            work += 1
+            since_relabel += 1
+            if head >= len(active):
+                del active[:]
+                head = 0
+            if since_relabel >= relabel_period:
                 self._global_relabel()
                 self.label[self.source] = count
-
-    def _discharge(self, node: int) -> None:
-        count = self.network.node_count
-        while self.excess[node] > 0:
-            pushed = False
-            for index in self.network.adjacency[node]:
-                edge = self.network.edges[index]
-                if edge.residual <= 0:
-                    continue
-                if self.label[node] != self.label[edge.dst] + 1:
-                    continue
-                delta = min(self.excess[node], edge.residual)
-                edge.flow += delta
-                self.network.edges[edge.rev].flow -= delta
-                self.excess[node] -= delta
-                self.excess[edge.dst] += delta
-                if edge.dst not in (self.source, self.sink):
-                    self._enqueue(edge.dst)
-                pushed = True
-                if self.excess[node] == 0:
-                    break
-            if self.excess[node] > 0 and not pushed:
-                new_label = None
-                for index in self.network.adjacency[node]:
-                    edge = self.network.edges[index]
-                    if edge.residual > 0:
-                        candidate = self.label[edge.dst] + 1
-                        if new_label is None or candidate < new_label:
-                            new_label = candidate
-                if new_label is None or new_label > 2 * count + 1:
-                    # No residual edge at all: the excess is truly stranded
-                    # (can only happen on disconnected inputs).
-                    return
-                self.label[node] = new_label
+                label = self.label
+                current = self._current
+                since_relabel = 0
+        del active[:]
+        self._active_head = 0
+        self._work_since_relabel = since_relabel
+        self.work += work
 
     def _residual_reach(self, start: int, *, forward: bool) -> set[int]:
+        network = self.network
         seen = {start}
-        queue = deque([start])
-        while queue:
-            node = queue.popleft()
-            for index in self.network.adjacency[node]:
-                edge = self.network.edges[index]
-                if forward:
-                    candidate = edge.dst
-                    has_capacity = edge.residual > 0
-                else:
-                    # Who can reach `start`: follow residual edges backwards.
-                    candidate = edge.dst
-                    reverse = self.network.edges[edge.rev]
-                    has_capacity = reverse.residual > 0
-                if has_capacity and candidate not in seen:
-                    seen.add(candidate)
-                    queue.append(candidate)
+        queue = [start]
+        head = 0
+        if forward:
+            inf_out = network.inf_out
+            fin_edges = network.fin_edges
+            while head < len(queue):
+                node = queue[head]
+                head += 1
+                for dst in inf_out[node]:
+                    if dst not in seen:
+                        seen.add(dst)
+                        queue.append(dst)
+                for edge in fin_edges[node]:
+                    if edge.cap > edge.flow:
+                        dst = edge.dst
+                        if dst not in seen:
+                            seen.add(dst)
+                            queue.append(dst)
+        else:
+            # Who can reach `start`: follow residual edges backwards.  ∞
+            # in-edges always qualify; finite paired reverses (real
+            # finite in-edges and stubs of outgoing flow) are checked.
+            inf_in = network.inf_in
+            fin_redges = network.fin_redges
+            while head < len(queue):
+                node = queue[head]
+                head += 1
+                for src in inf_in[node]:
+                    if src not in seen:
+                        seen.add(src)
+                        queue.append(src)
+                for reverse in fin_redges[node]:
+                    if reverse.cap > reverse.flow:
+                        src = reverse.src
+                        if src not in seen:
+                            seen.add(src)
+                            queue.append(src)
         return seen

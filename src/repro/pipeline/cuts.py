@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.analysis.dependence_graph import LoopDependenceModel
 from repro.flownet.balanced_cut import BalancedCut
 from repro.flownet.model import build_cut_network
+from repro.flownet.warmstart import WarmStartCache
 from repro.machine.costs import NN_RING, CostModel
 from repro.obs import tracer as obs
 
@@ -30,6 +31,12 @@ class CutDiagnostics:
     cut_value: int
     balanced: bool
     iterations: int
+    #: Push-relabel discharge operations spent on this cut and whether
+    #: its solve was seeded from a warm-start snapshot.  Work metrics,
+    #: not part of the cut's identity: warm and cold solves of the same
+    #: cut agree on every field above but may differ here.
+    pr_work: int = 0
+    warm_hit: bool = False
 
 
 @dataclass
@@ -85,11 +92,17 @@ def select_stages(model: LoopDependenceModel, degree: int, *,
                   costs: CostModel = NN_RING,
                   epsilon: float = 1.0 / 16.0,
                   incremental: bool = True,
-                  profiles: list[dict[str, float]] | None = None) -> StageAssignment:
+                  profiles: list[dict[str, float]] | None = None,
+                  warm: WarmStartCache | None = None) -> StageAssignment:
     """Assign every dependence unit (and block) to one of ``degree`` stages.
 
     ``profiles`` optionally activates dimensional balance: one block-
     frequency map per traffic class (see :func:`unit_profile_dims`).
+
+    ``warm`` optionally carries flow snapshots from earlier solves (other
+    degrees, supervisor rungs, or the previous cut); each cut then seeds
+    its max flow from the closest recorded solve and records its own.
+    The selected cuts are bit-identical with or without it.
     """
     if degree < 1:
         raise ValueError("pipelining degree must be >= 1")
@@ -98,11 +111,12 @@ def select_stages(model: LoopDependenceModel, degree: int, *,
     remaining = set(all_units)
     placed: set[int] = set()
     unit_dims = unit_profile_dims(model, profiles) if profiles else None
+    unit_weights = model.unit_weights()
+    remaining_weight = sum(unit_weights[unit] for unit in remaining)
 
     for stage in range(1, degree):
         if not remaining:
             break
-        remaining_weight = sum(model.unit_weight(unit) for unit in remaining)
         stages_left = degree - stage + 1
         target = remaining_weight / stages_left
         with obs.span("flow_network", cat="compile", stage=stage,
@@ -125,10 +139,15 @@ def select_stages(model: LoopDependenceModel, degree: int, *,
                 for index, value in enumerate(vector):
                     totals[index] += value
             dim_targets = tuple(value / stages_left for value in totals)
+        warm_seed = warm.seed_for(stage) if warm is not None else None
         with obs.span("balanced_cut", cat="compile", stage=stage,
                       target=round(target, 1), epsilon=epsilon):
             result = finder.find(cut_net.network, target, dims=dims,
-                                 dim_targets=dim_targets)
+                                 dim_targets=dim_targets,
+                                 warm_seed=warm_seed)
+        if warm is not None:
+            warm.record(stage, cut_net.network)
+            warm.seeded_edges += result.warm_seeded
         chosen = cut_net.units_of_cut(result.source_side) & remaining
         if not chosen and len(remaining) > 1:
             # Give the stage the lightest dependence-source unit so the
@@ -137,24 +156,29 @@ def select_stages(model: LoopDependenceModel, degree: int, *,
                 chosen = {model.header_unit}
             else:
                 sources = _frontier_units(model, remaining)
-                chosen = {min(sources, key=lambda u: (model.unit_weight(u), u))}
+                chosen = {min(sources, key=lambda u: (unit_weights[u], u))}
         for unit in chosen:
             assignment.unit_stage[unit] = stage
         placed |= chosen
         remaining -= chosen
+        chosen_weight = sum(unit_weights[unit] for unit in chosen)
+        remaining_weight -= chosen_weight
         diag = CutDiagnostics(
             stage=stage,
             target=target,
-            weight=sum(model.unit_weight(unit) for unit in chosen),
+            weight=chosen_weight,
             cut_value=result.cut_value,
             balanced=result.balanced,
             iterations=result.iterations,
+            pr_work=result.pr_work,
+            warm_hit=result.warm_seeded > 0,
         )
         assignment.diagnostics.append(diag)
         obs.instant("cut_selected", cat="compile", stage=stage,
                     target=round(target, 1), weight=diag.weight,
                     cut_value=diag.cut_value, balanced=diag.balanced,
-                    iterations=diag.iterations, units=len(chosen))
+                    iterations=diag.iterations, units=len(chosen),
+                    pr_work=diag.pr_work, warm_hit=diag.warm_hit)
         if not remaining:
             break
 
@@ -186,20 +210,9 @@ def refine_stages(model: LoopDependenceModel, assignment: StageAssignment,
     n_dims = len(next(iter(unit_dims.values()))) if unit_dims else 0
     if n_dims == 0:
         return 0
-    # Constraint adjacency at unit granularity (dependences + CFG).
-    succs: dict[int, set[int]] = {unit: set() for unit in assignment.unit_stage}
-    preds: dict[int, set[int]] = {unit: set() for unit in assignment.unit_stage}
-    for edge in model.unit_edges():
-        if edge.src != edge.dst:
-            succs[edge.src].add(edge.dst)
-            preds[edge.dst].add(edge.src)
-    for src_node in model.sgraph.nodes:
-        src_unit = model.unit_of_node(src_node)
-        for dst_node in model.sgraph.succs(src_node):
-            dst_unit = model.unit_of_node(dst_node)
-            if src_unit != dst_unit:
-                succs[src_unit].add(dst_unit)
-                preds[dst_unit].add(src_unit)
+    # Constraint adjacency at unit granularity (dependences + CFG),
+    # memoized on the model and shared with cut selection.
+    succs, preds = model.unit_adjacency()
 
     loads = [[0.0] * n_dims for _ in range(degree + 1)]  # 1-based stages
     for unit, stage in assignment.unit_stage.items():
@@ -208,21 +221,44 @@ def refine_stages(model: LoopDependenceModel, assignment: StageAssignment,
 
     totals = [sum(loads[stage][index] for stage in range(1, degree + 1)) or 1.0
               for index in range(n_dims)]
+    # The objective is the normalized sum of squared stage loads — a
+    # smooth surrogate for the per-dimension makespan (any evening move
+    # improves it, so greedy descent does not get trapped the way
+    # max-objectives do).  Moving a group of total dim-weight g from
+    # stage s to stage t only touches those two stages, so the change is
+    #     Δ = Σ_d 2·g_d·(g_d + load[t][d] − load[s][d]) / totals[d]²
+    # evaluated in O(|group| + dims) instead of a full O(degree·dims)
+    # objective recomputation per candidate.
+    inv_scale_sq = [1.0 / (scale * scale) for scale in totals]
 
-    def objective() -> float:
-        # Smooth surrogate for the per-dimension makespan: normalized sum
-        # of squared stage loads (any evening move improves it, so greedy
-        # descent does not get trapped the way max-objectives do).
-        value = 0.0
+    def group_sums(group: set[int]) -> list[float]:
+        group_dims = [0.0] * n_dims
+        for member in group:
+            vector = unit_dims[member]
+            for index in range(n_dims):
+                group_dims[index] += vector[index]
+        return group_dims
+
+    def move_delta(group_dims: list[float], stage: int,
+                   new_stage: int) -> float:
+        from_load = loads[stage]
+        to_load = loads[new_stage]
+        delta = 0.0
         for index in range(n_dims):
-            scale = totals[index]
-            for stage in range(1, degree + 1):
-                share = loads[stage][index] / scale
-                value += share * share
-        return value
+            g = group_dims[index]
+            if g:
+                delta += (2.0 * g * (g + to_load[index] - from_load[index])
+                          * inv_scale_sq[index])
+        return delta
 
     header_unit = model.header_unit
     latch_unit = model.latch_unit
+
+    # closure() results are cached between passes: a computed group only
+    # depends on the stage labels of the units it explored (members plus
+    # the neighbors it examined), so after a move only the cache entries
+    # whose explored set intersects the moved group are dropped.
+    closure_cache: dict[tuple[int, bool], tuple[set[int] | None, set[int]]] = {}
 
     def closure(unit: int, *, forward: bool) -> set[int] | None:
         """The unit plus its same-stage descendants (forward) / ancestors.
@@ -232,20 +268,25 @@ def refine_stages(model: LoopDependenceModel, assignment: StageAssignment,
         (earlier) stage.  Returns None if the group touches the pinned
         header or latch units.
         """
-        stage = assignment.unit_stage[unit]
+        cached = closure_cache.get((unit, forward))
+        if cached is not None:
+            return cached[0]
+        stage_of = assignment.unit_stage
+        stage = stage_of[unit]
         neighbors = succs if forward else preds
         group = {unit}
+        explored = {unit}
         work = [unit]
         while work:
-            current = work.pop()
-            for neighbor in neighbors[current]:
-                if (assignment.unit_stage[neighbor] == stage
-                        and neighbor not in group):
+            near = neighbors[work.pop()]
+            explored.update(near)
+            for neighbor in near:
+                if stage_of[neighbor] == stage and neighbor not in group:
                     group.add(neighbor)
                     work.append(neighbor)
-        if header_unit in group or latch_unit in group:
-            return None
-        return group
+        result = None if header_unit in group or latch_unit in group else group
+        closure_cache[(unit, forward)] = (result, explored)
+        return result
 
     def apply(group: set[int], stage: int, new_stage: int, sign: int) -> None:
         for member in group:
@@ -253,33 +294,81 @@ def refine_stages(model: LoopDependenceModel, assignment: StageAssignment,
                 loads[stage][index] -= sign * value
                 loads[new_stage][index] += sign * value
 
+    # Candidate deltas are cached alongside the closures: a move from s
+    # to t only changes loads[s] and loads[t], so only candidates whose
+    # source or destination stage is s or t (or whose group changed) can
+    # have a different delta next pass.  Group dim-sums depend only on
+    # group membership, so they survive load-only invalidations and a
+    # recomputed delta costs O(dims), not O(|group|·dims).
+    delta_cache: dict[tuple[int, int], float] = {}
+    gsum_cache: dict[tuple[int, bool], list[float]] = {}
+
     moves = 0
     improved = True
+    stage_map = assignment.unit_stage
+    candidates = [unit for unit in stage_map
+                  if unit not in (header_unit, latch_unit)]
     while improved and moves < max_moves:
         improved = False
-        best_value = objective()
+        best_delta = 0.0
         best_move = None
-        for unit, stage in list(assignment.unit_stage.items()):
-            if unit in (header_unit, latch_unit):
-                continue
-            for delta in (1, -1):
-                new_stage = stage + delta
+        for unit in candidates:
+            stage = stage_map[unit]
+            for direction in (1, -1):
+                new_stage = stage + direction
                 if not 1 <= new_stage <= degree:
                     continue
-                group = closure(unit, forward=(delta > 0))
-                if group is None or len(group) > 64:
-                    continue
-                apply(group, stage, new_stage, +1)
-                value_after = objective()
-                apply(group, stage, new_stage, -1)
-                if value_after < best_value - 1e-9:
-                    best_value = value_after
-                    best_move = (group, stage, new_stage)
+                forward = direction > 0
+                # A cached delta is only ever kept while the candidate's
+                # group, stage, and both endpoint loads are unchanged
+                # (see the invalidation below), so on a hit the closure
+                # walk is skipped entirely — the group is re-derived from
+                # the (necessarily still valid) closure cache only if the
+                # candidate wins the pass.
+                delta = delta_cache.get((unit, direction))
+                if delta is None:
+                    # Cached group sums likewise outlive load-only
+                    # invalidations, so a hit here proves the group is
+                    # still valid and skips the closure walk too.
+                    gsums = gsum_cache.get((unit, forward))
+                    if gsums is None:
+                        group = closure(unit, forward=forward)
+                        if group is None or len(group) > 64:
+                            continue
+                        gsums = group_sums(group)
+                        gsum_cache[(unit, forward)] = gsums
+                    delta = move_delta(gsums, stage, new_stage)
+                    delta_cache[(unit, direction)] = delta
+                if delta < best_delta - 1e-9:
+                    best_delta = delta
+                    best_move = (unit, forward, stage, new_stage)
         if best_move is not None:
-            group, stage, new_stage = best_move
+            unit, forward, stage, new_stage = best_move
+            group = closure(unit, forward=forward)
             for member in group:
                 assignment.unit_stage[member] = new_stage
             apply(group, stage, new_stage, +1)
+            touched = (stage, new_stage)
+            stage_of = assignment.unit_stage
+            # Membership only depends on "explored node at the group's
+            # stage?" — moving `group` from s to t flips that verdict
+            # solely for entries whose own stage is s or t; everyone
+            # else's traversal sees the same include/exclude answers and
+            # stays valid, even when it explored a moved node.
+            for key, (_, explored) in list(closure_cache.items()):
+                if (stage_of[key[0]] in touched
+                        and not explored.isdisjoint(group)):
+                    del closure_cache[key]
+                    gsum_cache.pop(key, None)
+                    cand_unit, forward = key
+                    delta_cache.pop((cand_unit, 1 if forward else -1), None)
+            for key in list(delta_cache):
+                cand_unit, cand_direction = key
+                cand_stage = stage_of[cand_unit]
+                if (cand_stage in touched
+                        or cand_stage + cand_direction in touched
+                        or cand_unit in group):
+                    del delta_cache[key]
             moves += 1
             improved = True
     return moves
@@ -288,18 +377,9 @@ def refine_stages(model: LoopDependenceModel, assignment: StageAssignment,
 def _frontier_units(model: LoopDependenceModel, remaining: set[int]) -> set[int]:
     """Units in ``remaining`` with no dependence or control-flow
     predecessor in ``remaining`` (safe to peel into the next stage)."""
-    has_pred: set[int] = set()
-    for edge in model.unit_edges():
-        if edge.src in remaining and edge.dst in remaining and edge.src != edge.dst:
-            has_pred.add(edge.dst)
-    for src_node in model.sgraph.nodes:
-        src_unit = model.unit_of_node(src_node)
-        for dst_node in model.sgraph.succs(src_node):
-            dst_unit = model.unit_of_node(dst_node)
-            if (src_unit != dst_unit and src_unit in remaining
-                    and dst_unit in remaining):
-                has_pred.add(dst_unit)
-    frontier = remaining - has_pred
+    _, preds = model.unit_adjacency()
+    frontier = {unit for unit in remaining
+                if not (preds[unit] & remaining)}
     return frontier or set(remaining)
 
 

@@ -91,7 +91,8 @@ def _canonical(regs) -> list[VReg]:
 
 def compute_cut_layouts(function: Function, body_blocks: list[str],
                         block_stage: dict[str, int], degree: int,
-                        *, interference: str = "exact") -> list[CutLayout]:
+                        *, interference: str = "exact",
+                        liveness: Liveness | None = None) -> list[CutLayout]:
     """Compute the message layout of every cut (1..degree-1).
 
     ``interference`` selects the relation used for packing:
@@ -101,8 +102,14 @@ def compute_cut_layouts(function: Function, body_blocks: list[str],
     * ``"pessimistic"`` — every pair of live-set objects interferes
       (packing degenerates to the naive unified layout, the effect of the
       false interference of Figure 13).
+
+    ``liveness`` optionally supplies a precomputed analysis of
+    ``function`` (e.g. the one shared through an
+    :class:`repro.analysis.context.AnalysisContext`); liveness is
+    per-function, not per-degree, so one result serves every cut.
     """
-    liveness = Liveness(function)
+    if liveness is None:
+        liveness = Liveness(function)
     body = set(body_blocks)
 
     # Variables computed by the replicated prologue never cross a cut.

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.context import AnalysisContext
+from repro.flownet.warmstart import WarmStartCache
 from repro.ir.function import Module
 from repro.machine.costs import NN_RING, CostModel
 from repro.pipeline.liveset import Strategy
@@ -139,13 +141,24 @@ def supervise_partition(module: Module, pps_name: str, degree: int, *,
                         cache=None,
                         retries: int = 1,
                         partition=pipeline_pps,
-                        verifier=verify_partition) -> PartitionOutcome:
+                        verifier=verify_partition,
+                        context: AnalysisContext | None = None,
+                        warm_start: bool = True,
+                        paranoid_verify: bool = False) -> PartitionOutcome:
     """Partition ``pps_name`` at (up to) ``degree`` stages, verified.
 
     ``retries`` is the number of *extra* knob-perturbed attempts per
     degree before degrading.  ``partition`` and ``verifier`` are test
     seams (fault injection into the partitioner, verifier doubles); they
     default to the real ``pipeline_pps`` / ``verify_partition``.
+
+    Every ladder rung shares one :class:`AnalysisContext` per
+    block-split setting (a caller-supplied ``context`` seeds the pool)
+    and, when ``warm_start`` is on, one :class:`WarmStartCache`, so a
+    retry pays only for cut selection, not re-analysis.  The shared
+    context is also handed to the verifier *unless* ``paranoid_verify``
+    is set, which forces the verifier to rebuild its ground truth from
+    scratch on every attempt (the pre-sharing behavior).
 
     Raises :class:`PipelineError` only for malformed *inputs* (unknown
     PPS, degree < 1) — the conditions no amount of degradation can fix.
@@ -162,20 +175,34 @@ def supervise_partition(module: Module, pps_name: str, degree: int, *,
         "interference": interference,
         "max_block_instructions": max_block_instructions,
     }
+    contexts: dict[int, AnalysisContext] = {}
+    if context is not None and context.matches(module, pps_name,
+                                              max_block_instructions):
+        contexts[max_block_instructions] = context
+    warm = WarmStartCache() if warm_start else None
     attempts: list[AttemptRecord] = []
     for rung in degradation_ladder(degree):
         for knobs in _knob_perturbations(base_knobs, retries):
             try:
+                # Built inside the try: an analysis crash on a malformed
+                # body must degrade down the ladder, not escape it.
+                mbi = knobs["max_block_instructions"]
+                ctx = contexts.get(mbi)
+                if ctx is None:
+                    ctx = contexts[mbi] = AnalysisContext(
+                        module, pps_name, mbi)
                 result = partition(
                     module, pps_name, rung,
                     costs=costs, strategy=strategy, profiler=profiler,
-                    cache=cache, **knobs)
+                    cache=cache, context=ctx, warm=warm, **knobs)
             except Exception as exc:
                 attempts.append(AttemptRecord(
                     degree=rung, knobs=knobs, outcome="partition-error",
                     error=f"{type(exc).__name__}: {exc}"))
                 continue
-            verdict = verifier(result, epsilon=knobs["epsilon"])
+            verdict = verifier(result, epsilon=knobs["epsilon"],
+                               context=contexts.get(mbi),
+                               paranoid=paranoid_verify)
             if not verdict.ok:
                 attempts.append(AttemptRecord(
                     degree=rung, knobs=knobs, outcome="rejected",

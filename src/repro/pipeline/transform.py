@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.cfg import PpsLoop, find_pps_loop, split_large_blocks
+from repro.analysis.cfg import PpsLoop
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dependence_graph import LoopDependenceModel
 from repro.errors import ReproError
-from repro.ir.clone import clone_function
 from repro.ir.function import Function, Module
 from repro.ir.instructions import Call
 from repro.ir.verify import verify_function
@@ -31,7 +31,6 @@ from repro.obs import tracer as obs
 from repro.pipeline.cuts import StageAssignment, select_stages
 from repro.pipeline.liveset import CutLayout, Strategy, compute_cut_layouts
 from repro.pipeline.realize import StageProgram, realize_stages
-from repro.ssa.construct import construct_ssa
 
 #: Prologue intrinsics that are safe to replicate into every stage.
 _REPLICABLE_EFFECTS = frozenset({Effect.PURE, Effect.MEM_READ})
@@ -77,13 +76,26 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
                  max_block_instructions: int = 12,
                  profiler=None,
                  cut_strategy=None,
-                 cache=None) -> PipelineResult:
+                 cache=None,
+                 context: AnalysisContext | None = None,
+                 warm=None) -> PipelineResult:
     """Partition PPS ``pps_name`` into a ``degree``-stage pipeline.
 
     ``profiler`` (optional) is called with the normalized (block-split)
     single-PPS function and must return one block-frequency map per traffic
     class; the balanced cuts then equalize every class's dynamic weight
     across stages (profile-dimensioned weight function).
+
+    ``context`` (optional) is a shared :class:`AnalysisContext`; when it
+    matches this request (same module object, PPS, and block-split knob)
+    the normalize / profile / SSA / dependence phases reuse its results
+    instead of recomputing them — the intended usage for degree sweeps
+    and supervisor ladders.  A non-matching context is rebuilt, never
+    trusted.  ``warm`` (optional) is a
+    :class:`repro.flownet.warmstart.WarmStartCache` seeding each cut's
+    initial max-flow solve from the previous solve of the same cut; the
+    resulting partition is bit-identical to a cold solve (see
+    ``repro.flownet.push_relabel``).
 
     ``cut_strategy`` (optional) replaces the balanced-min-cut stage
     selection with a custom ``(model, degree) -> StageAssignment`` — used
@@ -105,18 +117,15 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
     _check_inlined(source)
 
     with obs.span("pipeline_pps", cat="compile", pps=pps_name, degree=degree):
-        with obs.span("normalize", cat="compile", pps=pps_name):
-            work = clone_function(source)
-            if max_block_instructions > 0:
-                split_large_blocks(work, max_block_instructions)
-            loop = find_pps_loop(work)
-            _check_prologue(work, loop)
+        if context is None or not context.matches(module, pps_name,
+                                                 max_block_instructions):
+            context = AnalysisContext(module, pps_name,
+                                      max_block_instructions)
+        work = context.work
+        loop = context.loop
+        _check_prologue(work, loop)
 
-        if profiler is not None:
-            with obs.span("profile", cat="compile", pps=pps_name):
-                profiles = profiler(work)
-        else:
-            profiles = None
+        profiles = context.profiles_for(profiler)
 
         key = None
         if cache is not None and cut_strategy is None:
@@ -139,12 +148,7 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
                 _register_stage_pipes(module, cached)
                 return cached
 
-        with obs.span("ssa_construct", cat="compile", pps=pps_name):
-            ssa = clone_function(work)
-            construct_ssa(ssa)
-            ssa_loop = find_pps_loop(ssa)
-        with obs.span("dependence_graph", cat="compile", pps=pps_name):
-            model = LoopDependenceModel(ssa, ssa_loop)
+        model = context.model
 
         with obs.span("select_stages", cat="compile", pps=pps_name,
                       degree=degree):
@@ -154,11 +158,13 @@ def pipeline_pps(module: Module, pps_name: str, degree: int, *,
                 assignment = select_stages(model, degree, costs=costs,
                                            epsilon=epsilon,
                                            incremental=incremental,
-                                           profiles=profiles)
+                                           profiles=profiles,
+                                           warm=warm)
         with obs.span("liveset_layout", cat="compile", pps=pps_name):
             layouts = compute_cut_layouts(work, loop.body,
                                           assignment.block_stage,
-                                          degree, interference=interference)
+                                          degree, interference=interference,
+                                          liveness=context.liveness)
         for layout in layouts:
             obs.instant("cut_layout", cat="compile",
                         cut=layout.cut_index,

@@ -135,7 +135,7 @@ class VerifyError(PipelineError):
 class _Checker:
     """One verification pass over one :class:`PipelineResult`."""
 
-    def __init__(self, result: PipelineResult, epsilon: float):
+    def __init__(self, result: PipelineResult, epsilon: float, context=None):
         self.result = result
         self.epsilon = epsilon
         self.work = result.normalized
@@ -144,13 +144,22 @@ class _Checker:
         self.stage_of = result.assignment.block_stage
         self.findings: list[VerifyFinding] = []
         self.warnings: list[str] = []
-        # Ground truth, recomputed from the normalized PPS: fresh SSA,
-        # fresh dependence model, fresh liveness.  Nothing below reuses
-        # the model the partitioner itself built.
-        ssa = clone_function(self.work)
-        construct_ssa(ssa)
-        self.model = LoopDependenceModel(ssa, find_pps_loop(ssa))
-        self.liveness = Liveness(self.work)
+        # Ground truth: fresh SSA, fresh dependence model, fresh liveness
+        # over the *normalized* PPS.  Nothing below reuses the model the
+        # partitioner built during *this* result's cut selection — but a
+        # shared AnalysisContext over the same normalized function may
+        # supply the (deterministic, input-identical) analyses, because
+        # they are a pure function of ``result.normalized``.  Callers who
+        # want the rebuild anyway pass ``paranoid=True`` upstream, which
+        # arrives here as ``context=None``.
+        if context is not None and context.work is self.work:
+            self.model = context.model
+            self.liveness = context.liveness
+        else:
+            ssa = clone_function(self.work)
+            construct_ssa(ssa)
+            self.model = LoopDependenceModel(ssa, find_pps_loop(ssa))
+            self.liveness = Liveness(self.work)
         self.node_stage = self._node_stages()
 
     def fail(self, check: str, detail: str, *, cut: int | None = None,
@@ -481,14 +490,29 @@ class _Checker:
 
 
 def verify_partition(result: PipelineResult, *,
-                     epsilon: float = 1.0 / 16.0) -> VerifyVerdict:
+                     epsilon: float = 1.0 / 16.0,
+                     context=None,
+                     paranoid: bool = False) -> VerifyVerdict:
     """Independently verify one realized partition.
 
     ``epsilon`` must match the balance slack the partition was requested
     with (the default mirrors ``pipeline_pps``).  Returns a
     :class:`VerifyVerdict`; raising on rejection is the caller's choice
     via :meth:`VerifyVerdict.raise_if_rejected`.
+
+    ``context`` (optional) is a shared
+    :class:`repro.analysis.context.AnalysisContext`: when its normalized
+    function *is* ``result.normalized``, the checker consumes its SSA /
+    dependence / liveness analyses instead of rebuilding them.  The
+    analyses are a deterministic pure function of the normalized IR, so
+    the checks are unchanged; what sharing gives up is only resilience
+    against a *memory-corrupting* bug inside the analyses themselves.
+    ``paranoid=True`` (the ``--paranoid-verify`` flag) ignores any
+    supplied context and rebuilds the ground truth from scratch, which is
+    the historical behavior.
     """
+    if paranoid:
+        context = None
     if result.degree == 1:
         # Sequential "pipelines" have no cuts: structural stage check only.
         verdict = VerifyVerdict(pps_name=result.pps_name, degree=1,
@@ -501,4 +525,4 @@ def verify_partition(result: PipelineResult, *,
                     check="reconstruction", stage=stage.index,
                     detail=f"stage function is malformed: {exc}"))
         return verdict
-    return _Checker(result, epsilon).run()
+    return _Checker(result, epsilon, context).run()

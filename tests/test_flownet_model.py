@@ -100,8 +100,18 @@ def test_constraint_back_edges_present():
                     if isinstance(src, tuple) and src[0] == "unit"
                     and isinstance(dst, tuple) and dst[0] == "unit"]
     assert unit_to_unit
-    assert all(cap >= _INF for _, _, cap in unit_to_unit), \
-        "unit-to-unit edges are direction constraints and must be uncuttable"
+    # Unit-to-unit edges are either ∞ direction constraints or finite
+    # elided single-use def edges (a cuttable transmission cost).  Every
+    # finite def edge src -> dst must be protected by the matching ∞
+    # back-constraint dst -> src, or a cut could order the use before
+    # its def.
+    constraints = {(src, dst) for src, dst, cap in unit_to_unit
+                   if cap >= _INF}
+    assert constraints, "direction constraints must be present"
+    for src, dst, cap in unit_to_unit:
+        if cap < _INF:
+            assert (dst, src) in constraints, \
+                "cuttable def edges need an uncuttable back-constraint"
 
 
 def test_placed_units_forward_from_source():

@@ -102,3 +102,12 @@ def test_self_test_catches_every_seeded_defect():
     assert "liveness" in outcome["caught"]["drop-live-var"]
     assert "balance" in outcome["caught"]["unbalance-stage"]
     assert "reconstruction" in outcome["caught"]["break-control-object"]
+
+
+def test_parallel_fuzz_report_is_identical_to_serial():
+    from repro.eval.fuzz import run_fuzz
+
+    serial = run_fuzz(seeds=4, packets=8, jobs=1)
+    parallel = run_fuzz(seeds=4, packets=8, jobs=2)
+    assert serial.as_dict() == parallel.as_dict()
+    assert parallel.cases == 4

@@ -117,3 +117,78 @@ def test_verdict_serializes_to_json():
     payload = json.loads(json.dumps(verdict.as_dict()))
     assert payload["ok"] is True
     assert payload["degree"] == 3
+
+
+# -- shared analysis context vs paranoid rebuild (ISSUE 6) --------------------
+
+
+def _partition_with_context(app_name="rx", degree=3):
+    from repro.analysis.context import AnalysisContext
+
+    app = build_app(app_name, packets=8)
+    context = AnalysisContext(app.module, app.pps_name)
+    result = pipeline_pps(app.module, app.pps_name, degree, context=context)
+    return context, result
+
+
+def test_shared_context_is_consumed_paranoid_rebuilds():
+    from repro.pipeline.verify import _Checker
+
+    context, result = _partition_with_context()
+    shared = _Checker(result, 1.0 / 16.0, context=context)
+    assert shared.model is context.model
+    assert shared.liveness is context.liveness
+    rebuilt = _Checker(result, 1.0 / 16.0, context=None)
+    assert rebuilt.model is not context.model
+    assert rebuilt.liveness is not context.liveness
+
+
+def test_shared_context_verdict_matches_paranoid_verdict():
+    context, result = _partition_with_context()
+    shared = verify_partition(result, context=context)
+    paranoid = verify_partition(result, context=context, paranoid=True)
+    assert shared.ok and paranoid.ok
+    assert shared.checks_run == paranoid.checks_run
+    assert [str(w) for w in shared.warnings] == \
+        [str(w) for w in paranoid.warnings]
+
+
+def test_mismatched_context_is_ignored_not_trusted():
+    """A context for a *different* normalized function must never supply
+    the ground truth — the checker falls back to a fresh rebuild."""
+    from repro.analysis.context import AnalysisContext
+    from repro.pipeline.verify import _Checker
+
+    _, result = _partition_with_context("rx")
+    other_app = build_app("tx", packets=8)
+    stranger = AnalysisContext(other_app.module, other_app.pps_name)
+    checker = _Checker(result, 1.0 / 16.0, context=stranger)
+    assert checker.model is not stranger.model
+    assert checker.work is result.normalized
+
+
+def test_shared_context_still_rejects_every_seeded_defect():
+    """The independent-verifier guarantee survives analysis sharing: the
+    analyses are a pure function of the normalized IR, so a corrupted
+    *partition* is still checked against untainted ground truth."""
+    from repro.analysis.context import AnalysisContext
+
+    module = compile_module(STANDARD_PPS)
+    context = AnalysisContext(module, "worker")
+    result = pipeline_pps(module, "worker", 3, context=context)
+    assert verify_partition(result, context=context).ok
+    caught = {}
+    for name, mutant in seeded_defects(result):
+        # seeded_defects deep-copies, which would break the normalized
+        # -function identity and make the checker rebuild; restore it so
+        # this really drives the sharing path (the defects live in the
+        # assignment/layout/stage claims, not the normalized IR).
+        mutant.normalized = result.normalized
+        verdict = verify_partition(mutant, context=context)
+        assert not verdict.ok, \
+            f"defect {name} slipped past the context-sharing verifier"
+        caught[name] = sorted({finding.check
+                               for finding in verdict.findings})
+    assert set(caught) == set(DEFECT_MUTATORS)
+    for name, expected in EXPECTED_CHECK.items():
+        assert expected in caught[name], (name, caught[name])

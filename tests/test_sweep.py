@@ -201,3 +201,43 @@ def test_chaos_sweep_parallel_identical_to_inline(tmp_path):
         json.dumps(deterministic_view(inline), sort_keys=True)
     assert inline[0]["ok"] is True
     assert inline[0]["seed"] == derive_seed(7, "chaos", "rx")
+
+
+# -- the partition planner ---------------------------------------------------
+
+
+def test_plan_partitions_parallel_matches_serial(tmp_path):
+    from repro.cache import CompileCache
+    from repro.eval.sweep import plan_partitions
+
+    serial_cache = CompileCache(tmp_path / "serial")
+    parallel_cache = CompileCache(tmp_path / "parallel")
+    serial = plan_partitions(["rx", "tx"], [2, 3], packets=8, seed=7,
+                             jobs=1, cache=serial_cache)
+    parallel = plan_partitions(["rx", "tx"], [2, 3], packets=8, seed=7,
+                               jobs=2, cache=parallel_cache)
+    assert deterministic_view(serial) == deterministic_view(parallel)
+    # The identity-bearing part of the breakdown (everything but wall
+    # seconds) must agree too: same cuts, same work, under any -j.
+    def work_view(results):
+        return [{degree: {k: v for k, v in cell.items() if k != "seconds"}
+                 for degree, cell in entry["partition_breakdown"].items()}
+                for entry in results]
+    assert work_view(serial) == work_view(parallel)
+
+
+def test_plan_partitions_prewarms_the_compile_cache(tmp_path):
+    from repro.apps.suite import build_app
+    from repro.cache import CompileCache
+    from repro.eval.metrics import partition_app
+    from repro.eval.sweep import plan_partitions
+
+    cache = CompileCache(tmp_path / "cache")
+    plan_partitions(["rx"], [2, 3], packets=8, seed=7, jobs=2, cache=cache)
+    assert cache.counters()["stores"] > 0
+    # A cold consumer following the plan gets pure hits.
+    app = build_app("rx", packets=8, seed=7)
+    before = cache.counters()["misses"]
+    partition_app(app, [2, 3], cache=cache)
+    assert cache.counters()["misses"] == before
+    assert cache.counters()["hits"] >= 2
