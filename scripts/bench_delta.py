@@ -12,6 +12,15 @@ memoization/warm-start machinery.  The remaining wall-clock metrics
 (build/compile seconds, simulation wall time, instructions/second) vary
 with runner load and stay warn-only context rows.
 
+With ``--frontier-baseline`` / ``--frontier-current`` the script also
+gates the design-space exploration auto-pick (``repro explore``): for
+every app present in both frontier reports, the picked pipeline degree
+must not change and the picked cell's speedup must not drop beyond
+``--frontier-budget`` (default 25%).  A changed pick means the committed
+``EXPLORE_frontier.json`` no longer describes the configuration the repo
+recommends — re-run ``repro explore`` and commit the new frontier if the
+change is intentional.
+
 Writes a markdown summary (``--summary``) and appends it to
 ``$GITHUB_STEP_SUMMARY`` when running under GitHub Actions.
 
@@ -80,16 +89,79 @@ def partition_delta(baseline: dict, current: dict, budget: float):
     return before, after, ratio, ratio > 1.0 + budget
 
 
+def frontier_delta(baseline: dict, current: dict, budget: float):
+    """Per-app auto-pick rows: ``(app, detail, failed)``.
+
+    A row fails when the picked degree changed, the picked cell's speedup
+    dropped more than ``budget``, or the current run no longer picks any
+    configuration for an app the baseline picked one for.
+    """
+    rows = []
+    base_apps = baseline.get("apps", {})
+    curr_apps = current.get("apps", {})
+    for app in sorted(set(base_apps) & set(curr_apps)):
+        base_pick = base_apps[app].get("pick")
+        curr_pick = curr_apps[app].get("pick")
+        if base_pick is None and curr_pick is None:
+            rows.append((app, "no pick on either side", False))
+            continue
+        if curr_pick is None:
+            rows.append((app, "PICK LOST (baseline picked "
+                              f"{base_pick['id']})", True))
+            continue
+        if base_pick is None:
+            rows.append((app, f"new pick {curr_pick['id']} "
+                              "(baseline had none)", False))
+            continue
+        base_degree = base_pick["config"]["degree"]
+        curr_degree = curr_pick["config"]["degree"]
+        if curr_degree != base_degree:
+            rows.append((app, f"PICKED DEGREE CHANGED d{base_degree} -> "
+                              f"d{curr_degree} ({base_pick['id']} -> "
+                              f"{curr_pick['id']})", True))
+            continue
+        before = base_pick["metrics"]["speedup"]
+        after = curr_pick["metrics"]["speedup"]
+        ratio = after / before if before else 1.0
+        if ratio < 1.0 - budget:
+            rows.append((app, f"PICKED-CELL SPEEDUP DROPPED "
+                              f"{before:.4f}x -> {after:.4f}x "
+                              f"({ratio:.2f})", True))
+        else:
+            rows.append((app, f"d{curr_degree}, speedup {before:.4f}x -> "
+                              f"{after:.4f}x ({ratio:.2f})", False))
+    return rows
+
+
 def render_summary(args, rows, regressions, improvements, wall_rows,
-                   partition_row=None) -> str:
+                   partition_row=None, frontier_rows=None) -> str:
     lines = ["# bench delta", ""]
-    lines.append(
-        f"Baseline `{args.baseline}` vs current `{args.current}` "
-        f"(tolerance {args.tolerance:.0%}): "
-        f"**{len(rows)} cells compared, {len(regressions)} regressions, "
-        f"{len(improvements)} improvements.**"
-    )
-    lines.append("")
+    if rows or regressions:
+        lines.append(
+            f"Baseline `{args.baseline}` vs current `{args.current}` "
+            f"(tolerance {args.tolerance:.0%}): "
+            f"**{len(rows)} cells compared, {len(regressions)} regressions, "
+            f"{len(improvements)} improvements.**"
+        )
+        lines.append("")
+    if frontier_rows is not None:
+        failed = [row for row in frontier_rows if row[2]]
+        lines.append(
+            f"## Explore frontier gate (budget {args.frontier_budget:.0%})"
+        )
+        lines.append("")
+        lines.append(
+            f"`{args.frontier_baseline}` vs `{args.frontier_current}`: "
+            f"**{len(frontier_rows)} apps, {len(failed)} failures.**"
+        )
+        lines.append("")
+        lines.append("| app | auto-pick | status |")
+        lines.append("|---|---|---|")
+        for app, detail, bad in frontier_rows:
+            lines.append(
+                f"| {app} | {detail} | {'**FAIL**' if bad else 'ok'} |"
+            )
+        lines.append("")
     if partition_row is not None:
         before, after, ratio, over = partition_row
         verdict = ("**OVER BUDGET (hard failure)**" if over else "ok")
@@ -110,16 +182,17 @@ def render_summary(args, rows, regressions, improvements, wall_rows,
                 f"| {after:.4f}x | {ratio:.2f} |"
             )
         lines.append("")
-    lines.append("## Speedup cells")
-    lines.append("")
-    lines.append("| figure | app | degree | baseline | current | status |")
-    lines.append("|---|---|---|---|---|---|")
-    for (figure, app, degree), before, after, ratio, status in rows:
-        lines.append(
-            f"| {figure} | {app} | {degree} | {before:.4f}x "
-            f"| {after:.4f}x | {status} |"
-        )
-    lines.append("")
+    if rows:
+        lines.append("## Speedup cells")
+        lines.append("")
+        lines.append("| figure | app | degree | baseline | current | status |")
+        lines.append("|---|---|---|---|---|---|")
+        for (figure, app, degree), before, after, ratio, status in rows:
+            lines.append(
+                f"| {figure} | {app} | {degree} | {before:.4f}x "
+                f"| {after:.4f}x | {status} |"
+            )
+        lines.append("")
     if wall_rows:
         lines.append("## Wall-clock context (warn-only)")
         lines.append("")
@@ -148,24 +221,67 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional increase of cold partition_seconds before "
              "failing (default 0.25; 0 or negative disables the gate)",
     )
+    parser.add_argument(
+        "--frontier-baseline",
+        default=None,
+        help="committed explore frontier (e.g. EXPLORE_frontier.json); "
+             "with --frontier-current, gates the per-app auto-pick",
+    )
+    parser.add_argument(
+        "--frontier-current",
+        default=None,
+        help="freshly generated frontier (e.g. explore-out/frontier.json)",
+    )
+    parser.add_argument(
+        "--frontier-budget",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop of the picked cell's speedup before "
+             "failing (default 0.25); a changed picked degree always fails",
+    )
     parser.add_argument("--summary", default="bench_delta.md")
     args = parser.parse_args(argv)
 
-    with open(args.baseline, encoding="utf-8") as handle:
-        baseline = json.load(handle)
-    with open(args.current, encoding="utf-8") as handle:
-        current = json.load(handle)
+    frontier_rows = None
+    if (args.frontier_baseline is None) != (args.frontier_current is None):
+        parser.error("--frontier-baseline and --frontier-current must be "
+                     "given together")
+    if args.frontier_baseline is not None:
+        with open(args.frontier_baseline, encoding="utf-8") as handle:
+            frontier_baseline = json.load(handle)
+        with open(args.frontier_current, encoding="utf-8") as handle:
+            frontier_current = json.load(handle)
+        frontier_rows = frontier_delta(
+            frontier_baseline, frontier_current, args.frontier_budget
+        )
 
-    regressions, improvements, rows = compare(baseline, current, args.tolerance)
-    partition_row = partition_delta(baseline, current, args.partition_budget)
-    wall_rows = [
-        (metric, baseline[metric], current[metric])
-        for metric in WALL_METRICS
-        if metric in baseline and metric in current
-    ]
+    # The bench comparison is skippable only when the frontier gate runs
+    # alone (a frontier-only invocation against reports that don't exist).
+    bench_active = frontier_rows is None or (
+        os.path.exists(args.baseline) and os.path.exists(args.current)
+    )
+    regressions, improvements, rows = [], [], []
+    partition_row = None
+    wall_rows = []
+    if bench_active:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.current, encoding="utf-8") as handle:
+            current = json.load(handle)
+        regressions, improvements, rows = compare(
+            baseline, current, args.tolerance
+        )
+        partition_row = partition_delta(
+            baseline, current, args.partition_budget
+        )
+        wall_rows = [
+            (metric, baseline[metric], current[metric])
+            for metric in WALL_METRICS
+            if metric in baseline and metric in current
+        ]
 
     summary = render_summary(args, rows, regressions, improvements, wall_rows,
-                             partition_row)
+                             partition_row, frontier_rows)
     with open(args.summary, "w", encoding="utf-8") as handle:
         handle.write(summary + "\n")
     step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
@@ -173,7 +289,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(step_summary, "a", encoding="utf-8") as handle:
             handle.write(summary + "\n")
 
-    if not rows:
+    if bench_active and not rows:
         print("bench delta: no overlapping speedup cells — nothing gated")
         return 1
     for (figure, app, degree), before, after, ratio in regressions:
@@ -197,12 +313,23 @@ def main(argv: list[str] | None = None) -> int:
                 f"partition budget: {before:.3f}s -> {after:.3f}s "
                 f"({ratio:.2f}x, within {args.partition_budget:.0%})"
             )
-    print(
-        f"bench delta: {len(rows)} cells, {len(regressions)} regressions, "
-        f"{len(improvements)} improvements (tolerance {args.tolerance:.0%}); "
-        f"summary -> {args.summary}"
-    )
-    return 1 if regressions or over_budget else 0
+    frontier_failed = []
+    if frontier_rows is not None:
+        frontier_failed = [row for row in frontier_rows if row[2]]
+        for app, detail, _ in frontier_failed:
+            print(f"FRONTIER GATE {app}: {detail}", file=sys.stderr)
+        print(
+            f"frontier gate: {len(frontier_rows)} apps, "
+            f"{len(frontier_failed)} failures "
+            f"(budget {args.frontier_budget:.0%})"
+        )
+    if bench_active:
+        print(
+            f"bench delta: {len(rows)} cells, {len(regressions)} "
+            f"regressions, {len(improvements)} improvements "
+            f"(tolerance {args.tolerance:.0%}); summary -> {args.summary}"
+        )
+    return 1 if regressions or over_budget or frontier_failed else 0
 
 
 if __name__ == "__main__":

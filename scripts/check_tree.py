@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fail on stray source directories that hold no sources.
+
+A package directory whose only contents are ``__pycache__`` bytecode (or
+nothing at all) is a fossil: the sources were deleted but the directory
+survived, and `import` will happily resolve the package from stale
+``.pyc`` files — code that exists nowhere in the repo keeps running
+locally while a fresh checkout breaks.  This gate walks the source
+trees and fails on any directory with no real files beneath it.
+
+Usage::
+
+    python scripts/check_tree.py            # checks src tests scripts
+    python scripts/check_tree.py src        # explicit roots
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+DEFAULT_ROOTS = ["src", "tests", "scripts"]
+
+IGNORED_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".mypy_cache",
+    ".pytest_cache",
+    ".ruff_cache",
+    "*.egg-info",
+}
+
+IGNORED_FILES = {".DS_Store"}
+
+
+def is_ignored_dir(name: str) -> bool:
+    return name in IGNORED_DIRS or name.endswith(".egg-info")
+
+
+def is_ignored_file(name: str) -> bool:
+    return name in IGNORED_FILES or name.endswith((".pyc", ".pyo"))
+
+
+def hollow_directories(root: str) -> list[str]:
+    """Directories under ``root`` with no non-ignored file beneath them."""
+    real_files: dict[str, int] = {}
+    offenders = []
+    for dirpath, dirnames, filenames in os.walk(root, topdown=False):
+        name = os.path.basename(dirpath)
+        if is_ignored_dir(name):
+            dirnames[:] = []
+            continue
+        count = sum(1 for filename in filenames
+                    if not is_ignored_file(filename))
+        count += sum(
+            real_files.get(os.path.join(dirpath, child), 0)
+            for child in dirnames
+            if not is_ignored_dir(child)
+        )
+        real_files[dirpath] = count
+        if count == 0:
+            offenders.append(dirpath)
+    # Only report the topmost hollow directory of each hollow subtree.
+    offenders.sort()
+    pruned = []
+    for path in offenders:
+        if not any(path.startswith(kept + os.sep) for kept in pruned):
+            pruned.append(path)
+    return pruned
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=DEFAULT_ROOTS,
+        help="directories to scan (default: src tests scripts)",
+    )
+    args = parser.parse_args(argv)
+
+    offenders = []
+    for root in args.roots:
+        if os.path.isdir(root):
+            offenders.extend(hollow_directories(root))
+    for path in offenders:
+        print(
+            f"HOLLOW {path}: no source files (only __pycache__/ignored "
+            f"entries) — delete it or restore its sources",
+            file=sys.stderr,
+        )
+    if offenders:
+        return 1
+    print(f"check_tree: {', '.join(args.roots)} clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

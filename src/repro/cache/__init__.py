@@ -19,6 +19,7 @@ from repro.cache.key import (
     CACHE_SCHEMA_VERSION,
     canonical_pps_text,
     compile_key,
+    cost_identity,
 )
 from repro.cache.store import (
     CompileCache,
@@ -31,6 +32,7 @@ __all__ = [
     "CompileCache",
     "canonical_pps_text",
     "compile_key",
+    "cost_identity",
     "default_cache_dir",
     "resolve_cache",
 ]

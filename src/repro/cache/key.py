@@ -58,6 +58,28 @@ def canonical_pps_text(module: Module, pps_name: str) -> str:
     return "\n".join(lines)
 
 
+def cost_identity(costs: CostModel) -> dict:
+    """The cost-table fields the compile key is salted with.
+
+    Every parameter that shapes the flow network (VCost/CCost) or the
+    realized transmission code (send/receive overheads) is included, so
+    two tables differing in *any* field occupy different cache
+    addresses.  ``repro explore`` asserts pairwise-distinct identities
+    for the tables of a search space before enumerating it
+    (:meth:`repro.eval.explore.SearchSpace.validate`).
+    """
+    return {
+        "table_version": COST_TABLE_VERSION,
+        "name": costs.name,
+        "vcost_per_word": costs.vcost_per_word,
+        "ccost": costs.ccost,
+        "send_fixed": costs.send_fixed,
+        "send_per_word": costs.send_per_word,
+        "recv_fixed": costs.recv_fixed,
+        "recv_per_word": costs.recv_per_word,
+    }
+
+
 def compile_key(module: Module, pps_name: str, degree: int, *,
                 costs: CostModel,
                 epsilon: float,
@@ -73,16 +95,7 @@ def compile_key(module: Module, pps_name: str, degree: int, *,
         "source": canonical_pps_text(module, pps_name),
         "pps": pps_name,
         "degree": degree,
-        "costs": {
-            "table_version": COST_TABLE_VERSION,
-            "name": costs.name,
-            "vcost_per_word": costs.vcost_per_word,
-            "ccost": costs.ccost,
-            "send_fixed": costs.send_fixed,
-            "send_per_word": costs.send_per_word,
-            "recv_fixed": costs.recv_fixed,
-            "recv_per_word": costs.recv_per_word,
-        },
+        "costs": cost_identity(costs),
         "epsilon": repr(epsilon),
         "strategy": strategy.value,
         "incremental": incremental,

@@ -66,18 +66,12 @@ from repro.ir.lowering import lower_program
 from repro.ir.optimize import optimize_module
 from repro.ir.printer import format_function, format_module
 from repro.lang import FrontendError, compile_source
-from repro.machine.costs import NN_RING, SCRATCH_RING, SRAM_RING
+from repro.machine.costs import cost_table, cost_table_names
 from repro.pipeline.liveset import Strategy
 from repro.pipeline.transform import PipelineError, pipeline_pps
 from repro.runtime.equivalence import assert_equivalent, observe
 from repro.runtime.scheduler import run_pipeline, run_sequential
 from repro.runtime.state import MachineState
-
-_COST_MODELS = {
-    "nn": NN_RING,
-    "scratch": SCRATCH_RING,
-    "sram": SRAM_RING,
-}
 
 
 class CLIError(ReproError):
@@ -192,7 +186,7 @@ def cmd_pipeline(args) -> int:
     pps_name = _resolve_pps(module, args.pps)
     outcome = supervise_partition(
         module, pps_name, args.degree,
-        costs=_COST_MODELS[args.ring],
+        costs=cost_table(args.ring),
         epsilon=args.epsilon,
         strategy=Strategy(args.strategy),
         cache=_open_cache(args),
@@ -645,6 +639,99 @@ def cmd_plan(args) -> int:
     return EXIT_FAILURE if failures else EXIT_OK
 
 
+def cmd_explore(args) -> int:
+    """``repro explore``: cost-aware design-space exploration."""
+    import json
+    import os
+
+    from repro.eval.experiments import FIGURE19_APPS
+    from repro.eval.explore import (
+        ExploreError,
+        SearchSpace,
+        Weights,
+        deterministic_report,
+        explore,
+        render_markdown,
+        render_summary,
+    )
+
+    def ints(flag: str, text: str) -> tuple:
+        try:
+            return tuple(int(part) for part in text.split(",") if part)
+        except ValueError as exc:
+            raise CLIError(f"bad {flag} {text!r}: {exc}") from exc
+
+    def floats(flag: str, text: str) -> tuple:
+        try:
+            return tuple(float(part) for part in text.split(",") if part)
+        except ValueError as exc:
+            raise CLIError(f"bad {flag} {text!r}: {exc}") from exc
+
+    if args.apps:
+        apps = tuple(name for entry in args.apps
+                     for name in entry.split(",") if name)
+    else:
+        apps = tuple(FIGURE19_APPS)
+    incremental = {"on": (True,), "off": (False,),
+                   "both": (True, False)}[args.incremental]
+    try:
+        space = SearchSpace(
+            apps=apps,
+            degrees=ints("--degrees", args.degrees),
+            rings=tuple(part for part in args.rings.split(",") if part),
+            epsilons=floats("--epsilons", args.epsilons),
+            incremental=incremental,
+            max_block_instructions=ints("--max-block-instructions",
+                                        args.max_block_instructions),
+            packets=args.packets,
+            seed=args.seed,
+        ).validate()
+        weights = (Weights.parse(args.weights) if args.weights
+                   else Weights())
+    except (ExploreError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+
+    cache = _open_cache(args)
+    report = explore(space, weights=weights, rule=args.pick_rule,
+                     min_gain=args.min_gain, jobs=args.jobs, cache=cache,
+                     warm_start=not args.no_warm_start,
+                     keep_going=args.keep_going)
+
+    os.makedirs(args.out, exist_ok=True)
+    frontier = deterministic_report(report)
+    frontier_path = os.path.join(args.out, "frontier.json")
+    with open(frontier_path, "w", encoding="utf-8") as handle:
+        json.dump(frontier, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(os.path.join(args.out, "frontier.md"), "w",
+              encoding="utf-8") as handle:
+        handle.write(render_markdown(frontier))
+        handle.write("\n")
+    timings = {"timing": report.get("timing"),
+               "cache": report.get("cache"),
+               "jobs": args.jobs,
+               "cells": space.cell_count()}
+    with open(os.path.join(args.out, "timings.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(timings, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(render_summary(report))
+    if args.auto_pick:
+        for app, entry in report["apps"].items():
+            pick = entry["pick"]
+            if pick is None:
+                print(f"pick {app}: none — no verified, non-degraded "
+                      f"cell in the space")
+                continue
+            print(f"pick {app}: {pick['id']} "
+                  f"(score {pick['score']:.4f}) — {pick['why']}")
+            if pick.get("tie_break"):
+                print(f"  tie-break: {pick['tie_break']}")
+    print(f"wrote {frontier_path}")
+    return EXIT_FAILURE if report.get("failures") else EXIT_OK
+
+
 def cmd_fuzz(args) -> int:
     import json
     import os
@@ -708,7 +795,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("file")
     p_pipe.add_argument("--pps")
     p_pipe.add_argument("-d", "--degree", type=int, default=2)
-    p_pipe.add_argument("--ring", choices=sorted(_COST_MODELS), default="nn")
+    p_pipe.add_argument("--ring", default="nn",
+                        choices=cost_table_names(aliases=True))
     p_pipe.add_argument("--epsilon", type=float, default=1.0 / 16.0)
     p_pipe.add_argument("--strategy", default="packed",
                         choices=[s.value for s in Strategy])
@@ -846,6 +934,58 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of failing fast")
     _add_cache_flags(p_plan)
     p_plan.set_defaults(func=cmd_plan)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="cost-aware design-space exploration with a Pareto frontier")
+    p_explore.add_argument("--apps", nargs="*",
+                           help="apps to explore (default: the Figure 19 "
+                                "suite); comma or space separated")
+    p_explore.add_argument("--degrees", default="1,2,3,4,5,6,7,8,9",
+                           help="comma-separated pipeline degrees "
+                                "(include 1: the sequential floor)")
+    p_explore.add_argument("--rings", default="nn-ring",
+                           help="comma-separated cost-table names "
+                                "(see repro.machine.costs registry, e.g. "
+                                "nn-ring,scratch-ring)")
+    p_explore.add_argument("--epsilons", default="0.0625",
+                           help="comma-separated balance-slack values")
+    p_explore.add_argument("--incremental", default="on",
+                           choices=["on", "off", "both"],
+                           help="incremental-restart partitioner knob")
+    p_explore.add_argument("--max-block-instructions", default="12",
+                           help="comma-separated block-split thresholds")
+    p_explore.add_argument("--packets", type=int, default=60)
+    p_explore.add_argument("--seed", type=int, default=7)
+    p_explore.add_argument("--weights", default=None,
+                           help="objective weights, e.g. "
+                                "speedup=1,words=0.005,stages=0.01")
+    p_explore.add_argument("--pick-rule", default="marginal",
+                           choices=["marginal", "score"],
+                           help="marginal: climb the degree ladder until "
+                                "the weighted score plateaus (the paper's "
+                                "'levels off' knee); score: plain argmax")
+    p_explore.add_argument("--min-gain", type=float, default=0.0,
+                           help="marginal rule: minimum score gain to "
+                                "keep climbing (default: 0)")
+    p_explore.add_argument("--auto-pick", action="store_true",
+                           help="print the explained per-app pick "
+                                "(the pick is always in frontier.json)")
+    p_explore.add_argument("-o", "--out", default="explore-out",
+                           help="output directory (frontier.json, "
+                                "frontier.md, timings.json)")
+    p_explore.add_argument("-j", "--jobs", type=int, default=1,
+                           help="fan (app, knob-combo) rows over N worker "
+                                "processes; frontier.json is identical "
+                                "at any -j level")
+    p_explore.add_argument("--keep-going", action="store_true",
+                           help="record failed cells and keep exploring "
+                                "instead of failing fast")
+    p_explore.add_argument("--no-warm-start", action="store_true",
+                           help="solve every cut cold instead of seeding "
+                                "it from related earlier solves")
+    _add_cache_flags(p_explore)
+    p_explore.set_defaults(func=cmd_explore)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="fuzz the partitioner with generated programs")

@@ -15,11 +15,25 @@ from repro.eval.experiments import (
     headline_speedups,
     speedup_series,
 )
+from repro.eval.explore import (
+    SearchSpace,
+    Weights,
+    auto_pick,
+    deterministic_report,
+    explore,
+    pareto_flags,
+)
 from repro.eval.report import format_series_table, render_figure
 
 __all__ = [
     "PipelineMeasurement",
+    "SearchSpace",
     "SequentialMeasurement",
+    "Weights",
+    "auto_pick",
+    "deterministic_report",
+    "explore",
+    "pareto_flags",
     "app_statistics",
     "figure19",
     "figure20",

@@ -50,7 +50,7 @@ class SweepError(ReproError):
 class SweepTask:
     """One self-contained sweep cell, picklable for worker dispatch."""
 
-    kind: str                       # "bench" | "chaos" | "partition"
+    kind: str                       # "bench" | "chaos" | "partition" | "explore"
     app: str
     degrees: tuple                  # pipeline degrees to measure
     packets: int
@@ -60,12 +60,21 @@ class SweepTask:
     cache_dir: str | None = None    # shared CompileCache root
     label: str | None = None        # grouping tag (e.g. figure name)
     warm_start: bool = True         # bench/partition: cross-degree seeding
+    ring: str | None = None         # explore: cost-table name
+    epsilon: float | None = None    # explore: balance slack knob
+    incremental: bool | None = None  # explore: incremental-restart knob
+    max_block_instructions: int | None = None  # explore: block-split knob
 
     def describe(self) -> str:
         tag = f" [{self.label}]" if self.label else ""
         ref = " (reference)" if self.reference else ""
+        knobs = ""
+        if self.kind == "explore":
+            knobs = (f" ring={self.ring} eps={self.epsilon:g} "
+                     f"inc={'on' if self.incremental else 'off'} "
+                     f"mbi={self.max_block_instructions}")
         return (f"{self.kind} {self.app} D={','.join(map(str, self.degrees))}"
-                f"{ref}{tag}")
+                f"{ref}{knobs}{tag}")
 
     def repro_command(self) -> str:
         """A copy-paste one-liner that re-runs this exact cell inline."""
@@ -79,6 +88,14 @@ class SweepTask:
             warm = "" if self.warm_start else " --no-warm-start"
             return (f"repro bench --packets {self.packets} -j 1{warm}  "
                     f"# plan cell: app={self.app} degrees={degrees}")
+        if self.kind == "explore":
+            warm = "" if self.warm_start else " --no-warm-start"
+            inc = "on" if self.incremental else "off"
+            return (f"repro explore --apps {self.app} --degrees {degrees} "
+                    f"--rings {self.ring} --epsilons {self.epsilon:g} "
+                    f"--incremental {inc} "
+                    f"--max-block-instructions {self.max_block_instructions} "
+                    f"--packets {self.packets} --seed {self.seed} -j 1{warm}")
         return (f"repro bench --packets {self.packets} -j 1  "
                 f"# cell: app={self.app} degrees={degrees} "
                 f"seed={self.seed}")
@@ -134,6 +151,28 @@ def partition_tasks(apps: list[str], degrees, *, packets: int, seed: int,
             for app in apps]
 
 
+def explore_tasks(space, *, cache_dir: str | None = None,
+                  warm_start: bool = True) -> list[SweepTask]:
+    """Explore cells: one task per (app, knob combo), covering the whole
+    degree row.
+
+    Like :func:`partition_tasks`, a task keeps all of a combo's degrees
+    together so the worker shares one analysis context and one baseline
+    measurement across the row; parallelism fans the (app, combo) pairs.
+    ``space`` is a :class:`repro.eval.explore.SearchSpace`.
+    """
+    tasks = []
+    for app in space.apps:
+        for ring, epsilon, incremental, mbi in space.combos():
+            tasks.append(SweepTask(
+                kind="explore", app=app, degrees=tuple(space.degrees),
+                packets=space.packets, seed=space.seed,
+                cache_dir=cache_dir, warm_start=warm_start,
+                ring=ring, epsilon=epsilon, incremental=incremental,
+                max_block_instructions=mbi))
+    return tasks
+
+
 def chaos_tasks(apps: list[str], degrees: tuple, *, packets: int, seed: int,
                 plans: tuple | None = None,
                 cache_dir: str | None = None) -> list[SweepTask]:
@@ -163,7 +202,139 @@ def _execute(task: SweepTask) -> dict:
         return _execute_chaos(task)
     if task.kind == "partition":
         return _execute_partition(task)
+    if task.kind == "explore":
+        return _execute_explore(task)
     raise SweepError(f"unknown sweep task kind {task.kind!r}")
+
+
+def _execute_explore(task: SweepTask) -> dict:
+    """Evaluate one (app, knob combo) row of a design-space exploration.
+
+    Every degree of the row goes through the *supervised* pipeline —
+    partition, independent verification, graceful degradation — and is
+    then simulated with the observational-equivalence check on.  The
+    returned record carries one cell dict per degree; the nondeterministic
+    numbers (partition wall seconds) live under each cell's ``timing``
+    key so the frontier artifact can strip them.
+    """
+    from time import perf_counter
+
+    from repro.analysis.context import AnalysisContext
+    from repro.apps.suite import build_app
+    from repro.eval.metrics import (
+        make_profiler,
+        measure_pipeline,
+        measure_sequential,
+    )
+    from repro.machine.costs import cost_table
+    from repro.pipeline.supervisor import supervise_partition
+
+    cache = _open_cache(task)
+    before = dict(cache.counters()) if cache is not None else {}
+    costs = cost_table(task.ring)
+    start = perf_counter()
+    app = build_app(task.app, packets=task.packets, seed=task.seed)
+    build_seconds = perf_counter() - start
+
+    baseline = measure_sequential(app)
+    profiler = make_profiler(app)
+    context = AnalysisContext(app.module, app.pps_name,
+                              task.max_block_instructions)
+
+    def cell_id(degree: int) -> str:
+        inc = "inc" if task.incremental else "noinc"
+        return (f"{task.app}/{costs.name}/d{degree}/e{task.epsilon:g}/"
+                f"{inc}/b{task.max_block_instructions}")
+
+    def config(degree: int) -> dict:
+        return {
+            "degree": degree,
+            "ring": costs.name,
+            "epsilon": task.epsilon,
+            "incremental": task.incremental,
+            "max_block_instructions": task.max_block_instructions,
+        }
+
+    cells = []
+    partition_total = 0.0
+    for degree in sorted(set(task.degrees)):
+        if degree <= 1:
+            # The sequential "pipeline": always valid, nothing transmitted.
+            cells.append({
+                "id": cell_id(1),
+                "app": task.app,
+                "config": config(1),
+                "verified": True,
+                "degraded": False,
+                "achieved_degree": 1,
+                "metrics": {
+                    "speedup": 1.0,
+                    "transmitted_words": 0,
+                    "stages": 1,
+                    "longest_stage": round(baseline.per_packet, 4),
+                },
+                "timing": {"partition_seconds": 0.0},
+            })
+            continue
+        start = perf_counter()
+        outcome = supervise_partition(
+            app.module, app.pps_name, degree,
+            costs=costs, epsilon=task.epsilon,
+            incremental=task.incremental,
+            max_block_instructions=task.max_block_instructions,
+            profiler=profiler, cache=cache, context=context,
+            warm_start=task.warm_start)
+        partition_seconds = perf_counter() - start
+        partition_total += partition_seconds
+        cell = {
+            "id": cell_id(degree),
+            "app": task.app,
+            "config": config(degree),
+            "verified": outcome.ok,
+            "degraded": outcome.degraded,
+            "achieved_degree": outcome.achieved_degree,
+        }
+        if not outcome.ok:
+            cell["error"] = outcome.summary()
+            cell["metrics"] = None
+        else:
+            achieved = outcome.achieved_degree
+            measured = measure_pipeline(app, achieved, baseline=baseline,
+                                        costs=costs,
+                                        transform=outcome.result)
+            cell["metrics"] = {
+                "speedup": round(measured.speedup, 4),
+                "transmitted_words": sum(measured.message_words),
+                "stages": achieved,
+                "longest_stage": round(measured.longest_stage, 4),
+            }
+        if len(outcome.attempts) > 1:
+            cell["attempts"] = len(outcome.attempts)
+        cell["timing"] = {"partition_seconds": round(partition_seconds, 4)}
+        cells.append(cell)
+
+    counters = dict(cache.counters()) if cache is not None else None
+    if counters:
+        counters = {key: counters.get(key, 0) - before.get(key, 0)
+                    for key in counters}
+    return {
+        "kind": "explore",
+        "app": task.app,
+        "label": task.label,
+        "seed": task.seed,
+        "ring": costs.name,
+        "epsilon": task.epsilon,
+        "incremental": task.incremental,
+        "max_block_instructions": task.max_block_instructions,
+        "degrees": sorted(set(task.degrees)),
+        "warm_start": task.warm_start,
+        "cells": cells,
+        "timing": {
+            "build_seconds": round(build_seconds, 4),
+            "partition_seconds": round(partition_total, 4),
+        },
+        "cache": counters,
+    }
 
 
 def _execute_partition(task: SweepTask) -> dict:

@@ -1,6 +1,14 @@
 """Machine model: transmission cost parameters and the IXP2800 description."""
 
-from repro.machine.costs import NN_RING, SCRATCH_RING, SRAM_RING, CostModel
+from repro.machine.costs import (
+    NN_RING,
+    SCRATCH_RING,
+    SRAM_RING,
+    CostModel,
+    cost_table,
+    cost_table_names,
+    register_cost_table,
+)
 from repro.machine.ixp import IXP2800, IXP2400, ProcessingEngine, NetworkProcessor
 
 __all__ = [
@@ -12,4 +20,7 @@ __all__ = [
     "ProcessingEngine",
     "SCRATCH_RING",
     "SRAM_RING",
+    "cost_table",
+    "cost_table_names",
+    "register_cost_table",
 ]

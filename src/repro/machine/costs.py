@@ -63,8 +63,59 @@ class CostModel:
                 + words * (self.send_per_word + self.recv_per_word))
 
 
+# -- named cost-table registry ----------------------------------------------
+#
+# The design-space explorer (``repro explore``) and the CLI resolve cost
+# tables by *name*; the registry is the single authority mapping names
+# (and their short CLI aliases) to :class:`CostModel` instances.  Every
+# registered table's field values are salted into the compile-cache key
+# (:func:`repro.cache.key.cost_identity`), so two tables that differ in
+# any parameter can never serve each other's cached partitions.
+
+#: Canonical table name -> :class:`CostModel`.
+COST_TABLES: dict[str, CostModel] = {}
+
+#: Short alias (e.g. ``nn``) -> canonical table name (``nn-ring``).
+_COST_ALIASES: dict[str, str] = {}
+
+
+def register_cost_table(model: CostModel, *aliases: str) -> CostModel:
+    """Register ``model`` under its canonical name plus ``aliases``.
+
+    Rejects duplicate names/aliases outright — a silently shadowed cost
+    table would make ``repro explore`` results unreproducible.
+    """
+    if model.name in COST_TABLES or model.name in _COST_ALIASES:
+        raise ValueError(f"cost table {model.name!r} already registered")
+    COST_TABLES[model.name] = model
+    for alias in aliases:
+        if alias in COST_TABLES or alias in _COST_ALIASES:
+            raise ValueError(f"cost-table alias {alias!r} already taken")
+        _COST_ALIASES[alias] = model.name
+    return model
+
+
+def cost_table(name: str) -> CostModel:
+    """Resolve a cost table by canonical name or alias."""
+    canonical = _COST_ALIASES.get(name, name)
+    try:
+        return COST_TABLES[canonical]
+    except KeyError:
+        available = sorted(COST_TABLES) + sorted(_COST_ALIASES)
+        raise ValueError(f"unknown cost table {name!r} "
+                         f"(available: {', '.join(available)})") from None
+
+
+def cost_table_names(*, aliases: bool = False) -> list[str]:
+    """The registered canonical names (optionally plus aliases)."""
+    names = sorted(COST_TABLES)
+    if aliases:
+        names += sorted(_COST_ALIASES)
+    return names
+
+
 #: Register-based nearest-neighbor ring between adjacent MicroEngines.
-NN_RING = CostModel(
+NN_RING = register_cost_table(CostModel(
     name="nn-ring",
     vcost_per_word=2,
     ccost=2,
@@ -72,10 +123,10 @@ NN_RING = CostModel(
     send_per_word=1,
     recv_fixed=2,
     recv_per_word=1,
-)
+), "nn")
 
 #: Scratchpad-memory ring (any PE pair, higher per-message overhead).
-SCRATCH_RING = CostModel(
+SCRATCH_RING = register_cost_table(CostModel(
     name="scratch-ring",
     vcost_per_word=4,
     ccost=4,
@@ -83,10 +134,10 @@ SCRATCH_RING = CostModel(
     send_per_word=2,
     recv_fixed=8,
     recv_per_word=2,
-)
+), "scratch")
 
 #: SRAM ring (largest capacity, heaviest overhead).
-SRAM_RING = CostModel(
+SRAM_RING = register_cost_table(CostModel(
     name="sram-ring",
     vcost_per_word=6,
     ccost=6,
@@ -94,4 +145,4 @@ SRAM_RING = CostModel(
     send_per_word=3,
     recv_fixed=14,
     recv_per_word=3,
-)
+), "sram")

@@ -76,3 +76,46 @@ def test_custom_processor():
     assert tiny.engine_count == 3
     assert tiny.engines[0].threads == 4
     assert tiny.are_neighbors(1, 2)
+
+
+def test_cost_table_registry_resolves_names_and_aliases():
+    from repro.machine import cost_table, cost_table_names
+
+    assert cost_table("nn-ring") is NN_RING
+    assert cost_table("nn") is NN_RING
+    assert cost_table("scratch") is SCRATCH_RING
+    assert cost_table("sram-ring") is SRAM_RING
+    assert set(cost_table_names()) >= {"nn-ring", "scratch-ring",
+                                       "sram-ring"}
+    assert "nn" in cost_table_names(aliases=True)
+    with pytest.raises(ValueError, match="unknown cost table"):
+        cost_table("token-ring")
+
+
+def test_cost_table_registry_rejects_duplicates():
+    from repro.machine import register_cost_table
+
+    clash = CostModel("nn-ring", vcost_per_word=1, ccost=1, send_fixed=1,
+                      send_per_word=1, recv_fixed=1, recv_per_word=1)
+    with pytest.raises(ValueError, match="already registered"):
+        register_cost_table(clash)
+    fresh = CostModel("fresh-ring-for-test", vcost_per_word=1, ccost=1,
+                      send_fixed=1, send_per_word=1, recv_fixed=1,
+                      recv_per_word=1)
+    with pytest.raises(ValueError, match="already taken"):
+        register_cost_table(fresh, "nn")
+
+
+def test_cost_identity_covers_every_cost_parameter():
+    # Any parameter change must move the compile-cache address.
+    from dataclasses import fields, replace
+
+    from repro.cache import cost_identity
+
+    base = cost_identity(NN_RING)
+    for field in fields(CostModel):
+        if field.name == "name":
+            continue
+        bumped = replace(NN_RING, name="bumped",
+                         **{field.name: getattr(NN_RING, field.name) + 1})
+        assert cost_identity(bumped)[field.name] != base[field.name]

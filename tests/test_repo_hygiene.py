@@ -1,0 +1,59 @@
+"""Source-tree hygiene (scripts/check_tree.py).
+
+A directory whose only contents are ``__pycache__`` bytecode keeps
+resolving as an importable package locally while a fresh checkout
+breaks — the fate that briefly befell ``src/repro/serve``.  The gate
+under test walks the source trees and fails on any such hollow
+directory; CI runs it in the lint job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_tree", REPO / "scripts" / "check_tree.py")
+check_tree = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_tree)
+
+
+def test_the_stale_serve_package_is_gone():
+    assert not (REPO / "src" / "repro" / "serve").exists()
+
+
+def test_repo_source_trees_are_clean():
+    assert check_tree.main([str(REPO / "src"), str(REPO / "tests"),
+                            str(REPO / "scripts")]) == 0
+
+
+def test_pycache_only_package_is_flagged(tmp_path, capsys):
+    hollow = tmp_path / "pkg" / "__pycache__"
+    hollow.mkdir(parents=True)
+    (hollow / "mod.cpython-312.pyc").write_bytes(b"\x00")
+    assert check_tree.main([str(tmp_path)]) == 1
+    assert "HOLLOW" in capsys.readouterr().err
+
+
+def test_only_the_topmost_hollow_directory_is_reported(tmp_path):
+    nested = tmp_path / "pkg" / "sub" / "__pycache__"
+    nested.mkdir(parents=True)
+    (nested / "mod.cpython-312.pyc").write_bytes(b"\x00")
+    offenders = check_tree.hollow_directories(str(tmp_path))
+    assert offenders == [str(tmp_path)]
+
+
+def test_directory_with_sources_passes(tmp_path):
+    pkg = tmp_path / "pkg"
+    (pkg / "__pycache__").mkdir(parents=True)
+    (pkg / "__pycache__" / "mod.cpython-312.pyc").write_bytes(b"\x00")
+    (pkg / "mod.py").write_text("x = 1\n")
+    assert check_tree.hollow_directories(str(tmp_path)) == []
+
+
+def test_empty_directory_is_flagged(tmp_path):
+    (tmp_path / "abandoned").mkdir()
+    offenders = check_tree.hollow_directories(str(tmp_path))
+    assert offenders == [str(tmp_path)]
