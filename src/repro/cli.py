@@ -15,6 +15,8 @@ Usage (also via ``python -m repro``)::
         -o trace.json                        # Chrome-trace of compile + run
     repro chaos [--app ipv4] [--plans ...]   # chaos differential check
     repro chaos --sweep -j 4                 # parallel multi-app chaos sweep
+    repro serve --shards 4 \\
+        --faults worker-kill                 # supervised sharded serving
     repro figures [--packets 60]             # regenerate the paper figures
     repro bench [--quick] [-j N] [-o FILE]   # performance regression harness
     repro bench --profile                    # + partition-phase table
@@ -39,8 +41,11 @@ Partition results are memoized in a content-addressed artifact cache
 Exit codes (see :mod:`repro.errors`): 0 success, 1 compile/pipeline/IO
 failure (including sweep worker crashes), 2 usage error (unknown PPS,
 malformed ``--feed`` or fault plan), 3 runtime failure (interpreter
-trap, deadlock/livelock), 4 degraded success (the supervisor delivered
-a verified partition, but at a lower degree than requested).
+trap, deadlock/livelock, serving pool collapse), 4 degraded success
+(the supervisor delivered a verified partition, but at a lower degree
+than requested), 5 degraded serving (``repro serve`` delivered every
+committed batch, but only by re-sharding a failed worker's flows onto
+survivors or by leaving a drained tail undelivered).
 """
 
 from __future__ import annotations
@@ -72,6 +77,7 @@ from repro.pipeline.transform import PipelineError, pipeline_pps
 from repro.runtime.equivalence import assert_equivalent, observe
 from repro.runtime.scheduler import run_pipeline, run_sequential
 from repro.runtime.state import MachineState
+from repro.serve import ServeError
 
 
 class CLIError(ReproError):
@@ -439,6 +445,63 @@ def _chaos_sweep(args, degrees: tuple, cache) -> int:
             handle.write("\n")
         print(f"wrote {args.dead_letters}")
     return 0 if ok else 1
+
+
+def _load_serve_plan(spec: str):
+    """Resolve ``serve --faults``: a serve plan name, a builtin chaos
+    plan name, or a JSON file path."""
+    from repro.runtime.faults import serve_plans
+
+    plans = serve_plans()
+    if spec in plans:
+        return plans[spec]
+    return _load_fault_plan(spec)
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import ServePolicy, ServeRuntime
+
+    plan = _load_serve_plan(args.faults) if args.faults else None
+    policy = ServePolicy(max_restarts=args.max_restarts,
+                         backoff_base=args.backoff,
+                         hang_timeout=args.hang_timeout,
+                         drain_grace=args.drain_grace)
+    cache = _open_cache(args)
+    runtime = ServeRuntime(args.app, shards=args.shards,
+                           degree=args.degree, packets=args.packets,
+                           seed=args.seed, batch=args.batch, plan=plan,
+                           policy=policy, cache=cache,
+                           journal_dir=args.journal_dir,
+                           watchdog_quantum=args.watchdog_quantum,
+                           verify=not args.no_verify)
+
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer, tracing
+
+        tracer = Tracer()
+        with tracing(tracer):
+            report = runtime.run(install_sigterm=True)
+    else:
+        report = runtime.run(install_sigterm=True)
+
+    print(report.render())
+    if args.profile:
+        print(report.runtime_report(cache=cache).render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if tracer is not None:
+        from repro.obs import emit_counter_events
+
+        emit_counter_events(tracer, report.runtime_report(cache=cache))
+        tracer.write(args.trace)
+        print(f"wrote {args.trace}")
+    return report.exit_code()
 
 
 def cmd_trace(args) -> int:
@@ -858,6 +921,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="fault-tolerant sharded serving (supervised worker pool)")
+    p_serve.add_argument("--app", default="ipv4",
+                         help="benchmark app (default: ipv4)")
+    p_serve.add_argument("--shards", type=int, default=4,
+                         help="worker processes / flow shards (default: 4)")
+    p_serve.add_argument("-d", "--degree", type=int, default=1,
+                         help="pipeline degree inside each worker")
+    p_serve.add_argument("--packets", type=int, default=48)
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--batch", type=int, default=4,
+                         help="packets per journaled batch (the commit "
+                              "and replay unit)")
+    p_serve.add_argument("--faults", metavar="PLAN",
+                         help="fault plan with a workers section: serve "
+                              "plan name (worker-kill, worker-storm), "
+                              "builtin chaos plan name, or JSON file")
+    p_serve.add_argument("--max-restarts", type=int, default=3,
+                         help="per-shard restart budget before the "
+                              "circuit breaker re-shards (default: 3)")
+    p_serve.add_argument("--backoff", type=float, default=0.05,
+                         help="first restart delay, seconds; doubles per "
+                              "restart (default: 0.05)")
+    p_serve.add_argument("--hang-timeout", type=float, default=10.0,
+                         help="seconds a live worker may stay silent "
+                              "before a hang kill (default: 10)")
+    p_serve.add_argument("--drain-grace", type=float, default=2.0,
+                         help="seconds a SIGTERM drain waits before "
+                              "killing stragglers (default: 2)")
+    p_serve.add_argument("--journal-dir", metavar="DIR", default=None,
+                         help="persist per-shard journals as JSONL "
+                              "under DIR")
+    p_serve.add_argument("--watchdog-quantum", type=int, default=200_000,
+                         metavar="N",
+                         help="worker livelock check every N scheduler "
+                              "steps (default: 200000)")
+    p_serve.add_argument("--no-verify", action="store_true",
+                         help="skip the sequential-oracle differential "
+                              "after the run")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="print per-shard runtime counters")
+    p_serve.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a Chrome trace of shard lifecycle "
+                              "events to FILE")
+    p_serve.add_argument("-o", "--output", default=None,
+                         help="write the serve report as JSON")
+    _add_cache_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
     p_trace = sub.add_parser(
         "trace", help="emit a Chrome-trace JSON of compile + run")
     p_trace.add_argument("file")
@@ -1032,6 +1145,9 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_RUNTIME
     except TrapError as exc:
         print(f"error: trap: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
+    except ServeError as exc:
+        print(f"error: serve: {exc}", file=sys.stderr)
         return EXIT_RUNTIME
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

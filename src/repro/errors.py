@@ -14,6 +14,12 @@ distinct exit codes (see :mod:`repro.cli`):
   degree than requested (see ``repro.pipeline.supervisor``).  Not an
   exception family: commands return the code after printing a one-line
   warning.
+* degraded serving (``EXIT_DEGRADED_SERVE``) — exit 5: a ``repro
+  serve`` run *delivered every committed batch*, but only by degrading
+  the pool — a shard exhausted its restart budget and was re-sharded
+  onto survivors, or a drain left undelivered batches behind (see
+  ``repro.serve.supervise``).  Like exit 4, not an exception family:
+  the command returns the code after a one-line stderr warning.
 
 ``TrapError`` is the new name of the interpreter's historical
 ``RuntimeError_``; the old name remains importable from
@@ -31,6 +37,7 @@ EXIT_FAILURE = 1        # compile / partition / IO / sweep failure
 EXIT_USAGE = 2          # bad flag value, unknown PPS, malformed plan
 EXIT_RUNTIME = 3        # interpreter trap, deadlock / livelock
 EXIT_DEGRADED = 4       # success at a lower pipelining degree than asked
+EXIT_DEGRADED_SERVE = 5  # serve completed, but resharded or part-drained
 
 
 class ReproError(Exception):

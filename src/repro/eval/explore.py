@@ -471,11 +471,15 @@ def explore(space: SearchSpace, *, weights: Weights | None = None,
     weights = weights or Weights()
     cache_dir = str(cache.root) if cache is not None else None
     tasks = explore_tasks(space, cache_dir=cache_dir,
-                          warm_start=warm_start)
+                          warm_start=warm_start, keep_going=keep_going)
     results = run_sweep(tasks, jobs=jobs, keep_going=keep_going)
 
     failures = [entry for entry in results if entry.get("failed")]
     completed = [entry for entry in results if not entry.get("failed")]
+    # Cell-level keep-going: a row that survived may still carry failed
+    # degree cells; they join the artifact's ``failures`` list.
+    for entry in completed:
+        failures.extend(entry.get("cell_failures") or [])
     if cache is not None:
         for entry in completed:
             if entry.get("cache"):

@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ReproError
 
@@ -64,6 +64,8 @@ class SweepTask:
     epsilon: float | None = None    # explore: balance slack knob
     incremental: bool | None = None  # explore: incremental-restart knob
     max_block_instructions: int | None = None  # explore: block-split knob
+    keep_going: bool = False        # explore: record failed degree cells
+    #                                 instead of failing the whole row
 
     def describe(self) -> str:
         tag = f" [{self.label}]" if self.label else ""
@@ -152,7 +154,8 @@ def partition_tasks(apps: list[str], degrees, *, packets: int, seed: int,
 
 
 def explore_tasks(space, *, cache_dir: str | None = None,
-                  warm_start: bool = True) -> list[SweepTask]:
+                  warm_start: bool = True,
+                  keep_going: bool = False) -> list[SweepTask]:
     """Explore cells: one task per (app, knob combo), covering the whole
     degree row.
 
@@ -169,7 +172,7 @@ def explore_tasks(space, *, cache_dir: str | None = None,
                 packets=space.packets, seed=space.seed,
                 cache_dir=cache_dir, warm_start=warm_start,
                 ring=ring, epsilon=epsilon, incremental=incremental,
-                max_block_instructions=mbi))
+                max_block_instructions=mbi, keep_going=keep_going))
     return tasks
 
 
@@ -256,6 +259,7 @@ def _execute_explore(task: SweepTask) -> dict:
         }
 
     cells = []
+    cell_failures = []
     partition_total = 0.0
     for degree in sorted(set(task.degrees)):
         if degree <= 1:
@@ -277,41 +281,61 @@ def _execute_explore(task: SweepTask) -> dict:
             })
             continue
         start = perf_counter()
-        outcome = supervise_partition(
-            app.module, app.pps_name, degree,
-            costs=costs, epsilon=task.epsilon,
-            incremental=task.incremental,
-            max_block_instructions=task.max_block_instructions,
-            profiler=profiler, cache=cache, context=context,
-            warm_start=task.warm_start)
-        partition_seconds = perf_counter() - start
-        partition_total += partition_seconds
-        cell = {
-            "id": cell_id(degree),
-            "app": task.app,
-            "config": config(degree),
-            "verified": outcome.ok,
-            "degraded": outcome.degraded,
-            "achieved_degree": outcome.achieved_degree,
-        }
-        if not outcome.ok:
-            cell["error"] = outcome.summary()
-            cell["metrics"] = None
-        else:
-            achieved = outcome.achieved_degree
-            measured = measure_pipeline(app, achieved, baseline=baseline,
-                                        costs=costs,
-                                        transform=outcome.result)
-            cell["metrics"] = {
-                "speedup": round(measured.speedup, 4),
-                "transmitted_words": sum(measured.message_words),
-                "stages": achieved,
-                "longest_stage": round(measured.longest_stage, 4),
+        try:
+            outcome = supervise_partition(
+                app.module, app.pps_name, degree,
+                costs=costs, epsilon=task.epsilon,
+                incremental=task.incremental,
+                max_block_instructions=task.max_block_instructions,
+                profiler=profiler, cache=cache, context=context,
+                warm_start=task.warm_start)
+            partition_seconds = perf_counter() - start
+            partition_total += partition_seconds
+            cell = {
+                "id": cell_id(degree),
+                "app": task.app,
+                "config": config(degree),
+                "verified": outcome.ok,
+                "degraded": outcome.degraded,
+                "achieved_degree": outcome.achieved_degree,
             }
-        if len(outcome.attempts) > 1:
-            cell["attempts"] = len(outcome.attempts)
-        cell["timing"] = {"partition_seconds": round(partition_seconds, 4)}
-        cells.append(cell)
+            if not outcome.ok:
+                cell["error"] = outcome.summary()
+                cell["metrics"] = None
+            else:
+                achieved = outcome.achieved_degree
+                measured = measure_pipeline(app, achieved,
+                                            baseline=baseline,
+                                            costs=costs,
+                                            transform=outcome.result)
+                cell["metrics"] = {
+                    "speedup": round(measured.speedup, 4),
+                    "transmitted_words": sum(measured.message_words),
+                    "stages": achieved,
+                    "longest_stage": round(measured.longest_stage, 4),
+                }
+            if len(outcome.attempts) > 1:
+                cell["attempts"] = len(outcome.attempts)
+            cell["timing"] = {
+                "partition_seconds": round(partition_seconds, 4)}
+            cells.append(cell)
+        except Exception as exc:
+            # A single grid cell crashing (partitioner bug, measurement
+            # fault) must not take out the row's other degrees when the
+            # sweep runs keep-going; record it with a degree-exact repro
+            # one-liner instead.
+            if not task.keep_going:
+                raise
+            cell_task = replace(task, degrees=(degree,))
+            if isinstance(exc, SweepError):
+                error = exc
+            else:
+                error = SweepError(
+                    f"explore cell {cell_id(degree)} failed: {exc}; "
+                    f"{cell_task.detail()}", task=cell_task)
+            record = _failure_record(cell_task, error)
+            record["cell"] = cell_id(degree)
+            cell_failures.append(record)
 
     counters = dict(cache.counters()) if cache is not None else None
     if counters:
@@ -329,6 +353,7 @@ def _execute_explore(task: SweepTask) -> dict:
         "degrees": sorted(set(task.degrees)),
         "warm_start": task.warm_start,
         "cells": cells,
+        "cell_failures": cell_failures,
         "timing": {
             "build_seconds": round(build_seconds, 4),
             "partition_seconds": round(partition_total, 4),

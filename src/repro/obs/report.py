@@ -68,6 +68,10 @@ class RuntimeReport:
     #: requested degree) — populated only when the run partitioned
     #: through the supervisor.
     partition: dict | None = None
+    #: Serving-supervisor counters (workers spawned, restarts, journal
+    #: replays, redeliveries, re-shardings) — populated only when the
+    #: run went through the sharded serving runtime (``repro serve``).
+    serve: dict | None = None
 
     def as_dict(self) -> dict:
         result = {
@@ -91,6 +95,8 @@ class RuntimeReport:
             result["cache"] = dict(self.cache)
         if self.partition is not None:
             result["partition"] = dict(self.partition)
+        if self.serve is not None:
+            result["serve"] = dict(self.serve)
         return result
 
     def render(self) -> str:
@@ -151,6 +157,15 @@ class RuntimeReport:
             lines.append(f"  partition: {status} at degree {achieved}{note}, "
                          f"{len(self.partition.get('attempts', []))} "
                          f"attempts")
+        if self.serve is not None:
+            lines.append(
+                f"  serve: {self.serve.get('workers_spawned', 0)} workers, "
+                f"{self.serve.get('restarts', 0)} restarts, "
+                f"{self.serve.get('replays', 0)} replays, "
+                f"{self.serve.get('redeliveries', 0)} redeliveries, "
+                f"{self.serve.get('committed', 0)}/"
+                f"{self.serve.get('batches', 0)} batches committed, "
+                f"{self.serve.get('resharded', 0)} resharded")
         return "\n".join(lines)
 
 
@@ -246,6 +261,11 @@ def emit_counter_events(tracer: Tracer, report: RuntimeReport) -> None:
             key: value for key, value in report.cache.items()
             if isinstance(value, int)
         }, cat="cache", tid=TID_COMPILE)
+    if report.serve is not None:
+        tracer.counter("serve", {
+            key: value for key, value in report.serve.items()
+            if isinstance(value, int)
+        }, cat="serve", tid=TID_RUNTIME)
     for letter in report.dead_letters:
         tracer.instant(f"dead_letter {letter.stage}", cat="faults",
                        tid=TID_RUNTIME, **letter.as_dict())

@@ -67,6 +67,25 @@ class StageFaults:
     trap_at: int = 0          # inject a trap after ~N more weighted units
 
 
+@dataclass
+class WorkerFaults:
+    """Serve-pool worker faults, matched against ``shard-<index>`` names.
+
+    A worker SIGKILLs itself after committing ``kill_after_batches``
+    batches (0 = die before the first commit), or falls silent after
+    ``hang_after_batches`` so the supervisor's heartbeat timeout must
+    catch it.  Both fire on incarnation 0 only unless
+    ``every_incarnation`` — the every-incarnation form is how the chaos
+    suite exhausts a restart budget deterministically.  Worker faults are
+    semantics-preserving by construction: the journal replays the shard,
+    so committed output must still match the sequential oracle.
+    """
+
+    kill_after_batches: int | None = None
+    hang_after_batches: int | None = None
+    every_incarnation: bool = False
+
+
 class FaultPlan:
     """A validated, serializable fault-injection plan."""
 
@@ -74,11 +93,13 @@ class FaultPlan:
                  inputs: dict[str, InputFaults] | None = None,
                  pipes: dict[str, PipeFaults] | None = None,
                  stages: dict[str, StageFaults] | None = None,
+                 workers: dict[str, WorkerFaults] | None = None,
                  name: str = ""):
         self.seed = seed
         self.inputs = dict(inputs or {})
         self.pipes = dict(pipes or {})
         self.stages = dict(stages or {})
+        self.workers = dict(workers or {})
         self.name = name
 
     # -- predicates ------------------------------------------------------------
@@ -100,7 +121,8 @@ class FaultPlan:
     def from_dict(cls, data: dict, *, name: str = "") -> "FaultPlan":
         if not isinstance(data, dict):
             raise FaultPlanError("fault plan must be a JSON object")
-        unknown = set(data) - {"seed", "inputs", "pipes", "stages", "name"}
+        unknown = set(data) - {"seed", "inputs", "pipes", "stages",
+                               "workers", "name"}
         if unknown:
             raise FaultPlanError(
                 f"unknown fault plan keys: {sorted(unknown)}")
@@ -114,6 +136,8 @@ class FaultPlan:
             plan.pipes[key] = _parse_pipe_faults(key, spec)
         for key, spec in _section(data, "stages").items():
             plan.stages[key] = _parse_stage_faults(key, spec)
+        for key, spec in _section(data, "workers").items():
+            plan.workers[key] = _parse_worker_faults(key, spec)
         return plan
 
     @classmethod
@@ -143,7 +167,20 @@ class FaultPlan:
         if self.stages:
             result["stages"] = {key: _trim(vars(spec).copy())
                                 for key, spec in self.stages.items()}
+        if self.workers:
+            result["workers"] = {
+                key: {field: value
+                      for field, value in vars(spec).items()
+                      if value is not None and value is not False}
+                for key, spec in self.workers.items()}
         return result
+
+    def worker_faults(self, shard_name: str) -> "WorkerFaults | None":
+        """The worker fault spec matching ``shard-<index>``, if any."""
+        for pattern, spec in self.workers.items():
+            if fnmatch(str(shard_name), pattern):
+                return spec
+        return None
 
 
 def _section(data: dict, key: str) -> dict:
@@ -209,6 +246,27 @@ def _parse_stage_faults(key: str, spec: dict) -> StageFaults:
         slowdown=_count("stages", "slowdown", spec.get("slowdown", 0)),
         trap_at=_count("stages", "trap_at", spec.get("trap_at", 0)),
     )
+
+
+def _parse_worker_faults(key: str, spec: dict) -> WorkerFaults:
+    unknown = set(spec) - {"kill_after_batches", "hang_after_batches",
+                           "every_incarnation"}
+    if unknown:
+        raise FaultPlanError(
+            f"workers[{key!r}]: unknown keys {sorted(unknown)}")
+    kill = spec.get("kill_after_batches")
+    hang = spec.get("hang_after_batches")
+    every = spec.get("every_incarnation", False)
+    if kill is not None:
+        kill = _count("workers", "kill_after_batches", kill)
+    if hang is not None:
+        hang = _count("workers", "hang_after_batches", hang)
+    if not isinstance(every, bool):
+        raise FaultPlanError(
+            f"workers[{key!r}]: every_incarnation must be a boolean, "
+            f"got {every!r}")
+    return WorkerFaults(kill_after_batches=kill, hang_after_batches=hang,
+                        every_incarnation=every)
 
 
 def _trim(spec: dict) -> dict:
@@ -448,4 +506,28 @@ def builtin_plans() -> dict[str, FaultPlan]:
             "seed": 53,
             "stages": {"*": {"trap_at": 500}},
         }, name="trap-storm"),
+    }
+
+
+def serve_plans() -> dict[str, FaultPlan]:
+    """Seeded plans for the sharded serving runtime (``repro serve``).
+
+    Kept out of :func:`builtin_plans` because the in-process chaos
+    differential has no worker pool — a ``workers``-only plan would run
+    there as a no-op.  ``worker-kill`` murders every worker once
+    mid-stream (restart + journal replay must reproduce the oracle);
+    ``worker-storm`` kills shard 0 on *every* incarnation, which is the
+    deterministic way to exhaust a restart budget and exercise
+    re-sharding onto survivors.
+    """
+    return {
+        "worker-kill": FaultPlan.from_dict({
+            "seed": 71,
+            "workers": {"*": {"kill_after_batches": 1}},
+        }, name="worker-kill"),
+        "worker-storm": FaultPlan.from_dict({
+            "seed": 73,
+            "workers": {"shard-0": {"kill_after_batches": 0,
+                                    "every_incarnation": True}},
+        }, name="worker-storm"),
     }

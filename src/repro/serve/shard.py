@@ -1,0 +1,80 @@
+"""Flow-hash sharding of a packet stream across a worker pool.
+
+The dispatcher assigns every packet to a shard by hashing its *flow
+identity* — for the POS-encapsulated IPv4/IPv6 traffic the benchmark
+generators emit, that is the source/destination address pair; for
+anything else (raw ints, malformed frames) the whole payload.  The hash
+is a process-independent FNV-1a: Python's builtin ``hash`` is salted
+per process (PYTHONHASHSEED), which would scatter a flow across
+restarts and make journal replay meaningless.
+
+Within a shard, packets keep their stream order; packets of one flow
+always land in one shard, so per-flow order is preserved end to end no
+matter how the pool is sized — the invariant the exactly-once property
+test (``tests/test_serve_property.py``) pins.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import POS_HEADER_BYTES, PPP_IPV4, PPP_IPV6
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def _fnv1a(data: bytes) -> int:
+    digest = _FNV_OFFSET
+    for byte in data:
+        digest = ((digest ^ byte) * _FNV_PRIME) & _MASK64
+    return digest
+
+
+def flow_bytes(packet) -> bytes:
+    """The bytes that identify ``packet``'s flow.
+
+    POS frames with a recognized PPP protocol key on the IP address
+    pair (src+dst); everything else keys on the entire payload, which
+    degrades gracefully to per-packet sharding.
+    """
+    if isinstance(packet, int):
+        return packet.to_bytes(8, "big", signed=False) \
+            if packet >= 0 else str(packet).encode()
+    data = bytes(packet)
+    if len(data) >= POS_HEADER_BYTES and data[0] == 0xFF and data[1] == 0x03:
+        proto = int.from_bytes(data[2:4], "big")
+        ip = data[POS_HEADER_BYTES:]
+        if proto == PPP_IPV4 and len(ip) >= 20:
+            return ip[12:20]        # IPv4 src + dst
+        if proto == PPP_IPV6 and len(ip) >= 40:
+            return ip[8:40]         # IPv6 src + dst
+    return data
+
+
+def flow_key(packet) -> int:
+    """A stable 64-bit flow hash (identical in every process)."""
+    return _fnv1a(flow_bytes(packet))
+
+
+def shard_index(packet, shards: int) -> int:
+    """The shard owning ``packet``'s flow."""
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    return flow_key(packet) % shards
+
+
+def shard_stream(stream: list, shards: int) -> list[list]:
+    """Split ``stream`` into per-shard substreams, order-preserving."""
+    buckets: list[list] = [[] for _ in range(shards)]
+    for packet in stream:
+        buckets[shard_index(packet, shards)].append(packet)
+    return buckets
+
+
+def make_batches(substream: list, batch: int) -> list[list]:
+    """Chop one shard's substream into feed batches of ``batch`` packets
+    (the journal's unit of commit and replay)."""
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    return [substream[start:start + batch]
+            for start in range(0, len(substream), batch)]

@@ -1,0 +1,199 @@
+"""The serve worker: one process, one shard, deterministic batch loop.
+
+``worker_main`` is the child-process entry point the supervisor spawns
+(module-level and picklable, so it works under both fork and spawn
+start methods).  An incarnation always runs its shard's *entire*
+journaled batch list from batch 1 on a fresh machine state: replay is
+how a restart rebuilds the exact machine its dead predecessor had, and
+the parent's commit watermark drops the re-delivered prefix (counting
+it, see :mod:`repro.serve.journal`).
+
+Per batch the worker feeds the packets, runs the compiled pipeline
+(degree 1 = the sequential PPS) under a fresh watchdog, and ships the
+*observable delta* — new TX records and trace events plus execution
+counters — up its private pipe.  One writer per pipe means a SIGKILL at
+any instant cannot corrupt a sibling's message stream.
+
+Failure reporting reuses the PR 3 watchdog classification: a
+:class:`~repro.errors.DeadlockError` surfaces with its ``kind``
+(``deadlock`` / ``livelock``), a trap as ``trap``; the supervisor
+classifies abrupt deaths (no error message, negative exitcode) as
+``killed``.  Injected worker faults (:class:`WorkerFaults`) fire at
+exact batch boundaries — self-SIGKILL instead of the next commit, or an
+infinite sleep the heartbeat timeout must catch — so chaos runs replay
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.errors import DeadlockError, TrapError
+
+#: Exit code a worker uses for classified (reported) failures.
+WORKER_FAILURE_EXIT = 3
+
+#: Seconds a hang-faulted worker sleeps per check (forever, in practice).
+_HANG_NAP = 0.05
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to rebuild its world, picklable."""
+
+    app: str
+    packets: int
+    seed: int
+    degree: int
+    cache_dir: str | None
+    watchdog_quantum: int | None = 200_000
+    isolate_traps: bool = False
+
+
+@dataclass(frozen=True)
+class WorkerFaultSpec:
+    """The injected-fault slice of a FaultPlan for one shard (plain
+    data; derived host-side from ``FaultPlan.worker_faults``)."""
+
+    kill_after_batches: int | None = None
+    hang_after_batches: int | None = None
+    every_incarnation: bool = False
+
+    def active(self, incarnation: int) -> bool:
+        return incarnation == 0 or self.every_incarnation
+
+
+def _build_runner(config: WorkerConfig):
+    """Compile the app once per incarnation; returns (app, run_batch).
+
+    ``run_batch(state, packets)`` feeds one batch and runs it to
+    quiescence, returning (instructions, weight, iterations).
+    """
+    from repro.apps.suite import build_app
+    from repro.runtime.scheduler import run_pipeline, run_sequential
+    from repro.runtime.watchdog import Watchdog
+
+    app = build_app(config.app, packets=config.packets, seed=config.seed)
+    if app.feed is None:
+        raise ValueError(f"app {config.app!r} has no stream/feed split")
+
+    def watchdog():
+        if config.watchdog_quantum is None:
+            return None
+        return Watchdog(config.watchdog_quantum)
+
+    if config.degree <= 1:
+        function = app.module.pps(app.pps_name)
+
+        def run_batch(state, packets):
+            iterations = app.feed(state, packets)
+            stats = run_sequential(function, state, iterations=iterations,
+                                   watchdog=watchdog(),
+                                   isolate_traps=config.isolate_traps)
+            return stats.instructions, stats.weight, stats.iterations
+    else:
+        from repro.cache import CompileCache
+        from repro.pipeline.transform import pipeline_pps
+
+        cache = (CompileCache(config.cache_dir)
+                 if config.cache_dir is not None else None)
+        result = pipeline_pps(app.module, app.pps_name, config.degree,
+                              cache=cache)
+
+        def run_batch(state, packets):
+            iterations = app.feed(state, packets)
+            run = run_pipeline(result.stages, state, iterations=iterations,
+                               watchdog=watchdog(),
+                               isolate_traps=config.isolate_traps)
+            return (sum(s.instructions for s in run.stats.values()),
+                    sum(s.weight for s in run.stats.values()),
+                    iterations)
+
+    return app, run_batch
+
+
+class _DeltaTracker:
+    """Incremental view of a state's observables (TX + traces)."""
+
+    def __init__(self, state):
+        self._state = state
+        self._tx_seen = 0
+        self._trace_seen: dict[int, int] = {}
+
+    def take(self) -> dict:
+        records = self._state.devices.tx_records
+        tx = [(rec.port, rec.sop, rec.eop, bytes(rec.data))
+              for rec in records[self._tx_seen:]]
+        self._tx_seen = len(records)
+        traces = {}
+        for tag, events in self._state.traces.items():
+            seen = self._trace_seen.get(tag, 0)
+            if len(events) > seen:
+                traces[tag] = list(events[seen:])
+                self._trace_seen[tag] = len(events)
+        return {"tx": tx, "traces": traces}
+
+
+def worker_main(config: WorkerConfig, shard: int, incarnation: int,
+                batches: list[list], conn, drain_event,
+                fault: WorkerFaultSpec | None = None) -> None:
+    """Child-process body: replay ``batches``, streaming deltas up
+    ``conn``.  Never returns non-locally except by ``sys.exit``."""
+    try:
+        _worker_body(config, shard, incarnation, batches, conn,
+                     drain_event, fault)
+    except DeadlockError as exc:
+        conn.send(("error", shard, incarnation, exc.kind, str(exc)))
+        sys.exit(WORKER_FAILURE_EXIT)
+    except TrapError as exc:
+        conn.send(("error", shard, incarnation, "trap", str(exc)))
+        sys.exit(WORKER_FAILURE_EXIT)
+    except Exception as exc:  # classified as a generic worker error
+        conn.send(("error", shard, incarnation, "error",
+                   f"{type(exc).__name__}: {exc}"))
+        sys.exit(1)
+    finally:
+        conn.close()
+
+
+def _worker_body(config, shard, incarnation, batches, conn, drain_event,
+                 fault) -> None:
+    # The supervisor owns lifecycle signals; workers die by SIGKILL only.
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    app, run_batch = _build_runner(config)
+    from repro.runtime.state import MachineState
+
+    state = MachineState(app.module)
+    tracker = _DeltaTracker(state)
+    conn.send(("ready", shard, incarnation))
+
+    armed = fault if (fault is not None
+                      and fault.active(incarnation)) else None
+    sent = 0
+    for seq, packets in enumerate(batches, start=1):
+        if drain_event.is_set():
+            conn.send(("drained", shard, incarnation, seq))
+            return
+        if armed is not None and armed.hang_after_batches is not None \
+                and sent == armed.hang_after_batches:
+            while True:            # deliberate hang: heartbeats stop
+                time.sleep(_HANG_NAP)
+        conn.send(("heartbeat", shard, incarnation, seq))
+        instructions, weight, iterations = run_batch(state, packets)
+        delta = tracker.take()
+        delta["instructions"] = instructions
+        delta["weight"] = weight
+        delta["iterations"] = iterations
+        delta["dead_letters"] = len(state.dead_letters)
+        if armed is not None and armed.kill_after_batches is not None \
+                and sent == armed.kill_after_batches:
+            # Die at the exact commit boundary: batch `seq` is fully
+            # processed but never reported, so the restart must replay.
+            os.kill(os.getpid(), signal.SIGKILL)
+        conn.send(("result", shard, incarnation, seq, delta))
+        sent += 1
+    conn.send(("done", shard, incarnation))

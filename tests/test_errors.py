@@ -112,6 +112,7 @@ def test_invalid_json_fault_plan_exits_2(trap_file, tmp_path):
 def test_exit_code_family_constants():
     from repro.errors import (
         EXIT_DEGRADED,
+        EXIT_DEGRADED_SERVE,
         EXIT_FAILURE,
         EXIT_OK,
         EXIT_RUNTIME,
@@ -119,4 +120,32 @@ def test_exit_code_family_constants():
     )
 
     assert (EXIT_OK, EXIT_FAILURE, EXIT_USAGE, EXIT_RUNTIME,
-            EXIT_DEGRADED) == (0, 1, 2, 3, 4)
+            EXIT_DEGRADED, EXIT_DEGRADED_SERVE) == (0, 1, 2, 3, 4, 5)
+
+
+def test_serve_report_exit_code_mapping():
+    """The degraded-serve code maps exactly: mismatch/undelivered -> 1,
+    resharded or part-drained -> 5, clean delivery -> 0."""
+    from repro.errors import EXIT_DEGRADED_SERVE, EXIT_FAILURE, EXIT_OK
+    from repro.serve import ServeReport
+
+    def report(**kwargs):
+        base = ServeReport(app="ipv4", shards=2, degree=1, batch=4,
+                           packets=8, seed=7)
+        base.counters = {"pending": 0}
+        for key, value in kwargs.items():
+            setattr(base, key, value)
+        return base
+
+    assert report().exit_code() == EXIT_OK
+    assert report(degraded=True).exit_code() == EXIT_DEGRADED_SERVE
+    assert report(mismatches=["shard 0 batch 1: tx diverged"]) \
+        .exit_code() == EXIT_FAILURE
+    undelivered = report()
+    undelivered.counters = {"pending": 3}
+    assert undelivered.exit_code() == EXIT_FAILURE
+    # Degraded beats undelivered: a drain that left a tail is exit 5,
+    # the batches were given up deliberately.
+    drained = report(degraded=True, drained=True)
+    drained.counters = {"pending": 3}
+    assert drained.exit_code() == EXIT_DEGRADED_SERVE

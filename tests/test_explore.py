@@ -274,6 +274,54 @@ def test_explore_parallel_equals_sequential_cell_for_cell():
     assert pick["id"] in rendered
 
 
+def test_keep_going_records_failed_cell_with_degree_repro(monkeypatch):
+    """A single crashing grid cell lands under ``failures`` (with a
+    degree-exact repro one-liner) instead of killing the exploration;
+    the row's other degrees still get measured."""
+    import repro.pipeline.supervisor as supervisor_mod
+
+    real = supervisor_mod.supervise_partition
+
+    def boom(module, pps_name, degree, **kwargs):
+        if degree == 3:
+            raise RuntimeError("injected cell crash")
+        return real(module, pps_name, degree, **kwargs)
+
+    monkeypatch.setattr(supervisor_mod, "supervise_partition", boom)
+    report = explore(SMALL_SPACE, jobs=1, keep_going=True)
+
+    failures = report["failures"]
+    assert len(failures) == 1
+    failure = failures[0]
+    assert failure["failed"] and failure["app"] == "rx"
+    assert "injected cell crash" in failure["error"]
+    assert failure["repro"].startswith("repro explore --apps rx")
+    assert "--degrees 3" in failure["repro"]
+    assert failure["cell"].startswith("rx/") and "/d3/" in failure["cell"]
+
+    # The surviving degrees of the same row were still measured.
+    cells = report["apps"]["rx"]["cells"]
+    assert [cell["config"]["degree"] for cell in cells] == [1, 2]
+    assert all(cell["verified"] for cell in cells)
+
+    # The frontier artifact keeps the failures and renders the repro.
+    clean = deterministic_report(report)
+    assert clean["failures"] == failures
+    assert failure["repro"] in render_markdown(clean)
+
+
+def test_cell_crash_without_keep_going_fails_fast(monkeypatch):
+    from repro.eval.sweep import SweepError
+    import repro.pipeline.supervisor as supervisor_mod
+
+    def boom(module, pps_name, degree, **kwargs):
+        raise RuntimeError("injected cell crash")
+
+    monkeypatch.setattr(supervisor_mod, "supervise_partition", boom)
+    with pytest.raises(SweepError, match="injected cell crash"):
+        explore(SMALL_SPACE, jobs=1, keep_going=False)
+
+
 def test_deterministic_report_strips_wall_clock_fields():
     report = explore(SMALL_SPACE, jobs=1)
     assert "timing" in report

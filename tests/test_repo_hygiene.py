@@ -20,8 +20,14 @@ check_tree = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(check_tree)
 
 
-def test_the_stale_serve_package_is_gone():
-    assert not (REPO / "src" / "repro" / "serve").exists()
+def test_the_serve_package_is_real_not_hollow():
+    """``src/repro/serve`` was once a hollow ``__pycache__``-only husk;
+    today it is the serving runtime.  Real sources must be present —
+    the general gate below still fails if it ever hollows out again."""
+    serve = REPO / "src" / "repro" / "serve"
+    assert (serve / "__init__.py").is_file()
+    assert {"shard.py", "journal.py", "worker.py", "supervise.py"} <= \
+        {path.name for path in serve.glob("*.py")}
 
 
 def test_repo_source_trees_are_clean():

@@ -56,6 +56,47 @@ def test_plan_rejects_invalid_json():
         FaultPlan.from_json("{not json")
 
 
+def test_worker_faults_round_trip_and_lookup():
+    plan = FaultPlan.from_dict({
+        "seed": 71,
+        "workers": {"shard-0": {"kill_after_batches": 1,
+                                "every_incarnation": True},
+                    "*": {"hang_after_batches": 2}},
+    })
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again.to_dict() == plan.to_dict()
+    # First matching pattern wins; later patterns catch the rest.
+    assert again.worker_faults("shard-0").kill_after_batches == 1
+    assert again.worker_faults("shard-0").every_incarnation
+    assert again.worker_faults("shard-3").hang_after_batches == 2
+    assert not again.worker_faults("shard-3").every_incarnation
+
+
+@pytest.mark.parametrize("workers", [
+    {"*": {"kill_after_batches": -1}},
+    {"*": {"kill_after_batches": "soon"}},
+    {"*": {"every_incarnation": "yes"}},
+    {"*": {"surprise": 1}},
+    "everywhere",
+])
+def test_worker_faults_validation_rejects(workers):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"workers": workers})
+
+
+def test_serve_plans_are_wellformed_and_separate():
+    from repro.runtime.faults import serve_plans
+
+    plans = serve_plans()
+    assert set(plans) == {"worker-kill", "worker-storm"}
+    for name, plan in plans.items():
+        assert plan.name == name
+        assert plan.workers
+    # The in-process chaos differential has no worker pool: the serve
+    # plans must not leak into its builtin matrix.
+    assert not (set(plans) & set(builtin_plans()))
+
+
 def test_semantics_preserving_predicate():
     plans = builtin_plans()
     assert plans["drop-light"].semantics_preserving()

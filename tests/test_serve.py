@@ -1,0 +1,251 @@
+"""The fault-tolerant sharded serving runtime (ISSUE 10 tentpole).
+
+Each test drives :class:`repro.serve.ServeRuntime` end to end with real
+worker processes; the deterministic worker faults
+(:class:`repro.runtime.faults.WorkerFaults`) make the crash-recovery
+paths reproducible: a self-SIGKILL at an exact commit boundary, a hang
+the heartbeat clock must catch, a storm that exhausts the restart
+budget and trips the circuit breaker into re-sharding.  Everything is
+checked against the sequential oracle (``verify=True``), so these are
+differential tests, not just liveness tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import EXIT_DEGRADED_SERVE, EXIT_OK
+from repro.runtime.faults import FaultPlan, serve_plans
+from repro.serve import (
+    ServeError,
+    ServePolicy,
+    ServeRuntime,
+    shard_stream,
+)
+
+#: Small but kill-eligible: every shard gets >= 2 batches at 2 shards.
+PACKETS, BATCH = 24, 4
+
+#: Serving-runtime tests spawn real worker processes; the snappy
+#: backoff keeps a full crash-recovery cycle well under a second.
+FAST = ServePolicy(backoff_base=0.01, backoff_cap=0.05)
+
+
+def run_serve(app="ipv4", **kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("packets", PACKETS)
+    kwargs.setdefault("batch", BATCH)
+    kwargs.setdefault("policy", FAST)
+    return ServeRuntime(app, **kwargs).run()
+
+
+def test_clean_run_delivers_and_verifies():
+    report = run_serve()
+    assert report.ok
+    assert report.exit_code() == EXIT_OK
+    assert report.verified is True
+    assert report.counters["pending"] == 0
+    assert report.counters["restarts"] == 0
+    assert report.counters["redeliveries"] == 0
+    assert report.counters["workers_spawned"] >= 1
+
+
+def test_worker_kill_replays_bit_identically():
+    """A worker SIGKILLed at a commit boundary is restarted, replays its
+    journal, and the committed output still matches the oracle."""
+    report = run_serve(plan=serve_plans()["worker-kill"])
+    assert report.ok
+    assert report.verified is True
+    assert report.counters["restarts"] >= 1
+    assert report.counters["replays"] >= 1
+    assert report.counters["redeliveries"] >= 1
+    killed = [entry for entry in report.shard_stats
+              if any("killed" in cause for cause in entry["causes"])]
+    assert killed, "the kill fault never fired"
+    for entry in report.shard_stats:
+        assert entry["committed"] == entry["batches"]
+
+
+def test_restart_budget_exhaustion_resharding():
+    """worker-storm kills shard 0 on every incarnation: the breaker
+    trips, the journal is adopted by a survivor, the run is degraded —
+    and still bit-identical."""
+    report = run_serve(plan=serve_plans()["worker-storm"])
+    assert report.degraded
+    assert not report.ok
+    assert report.exit_code() == EXIT_DEGRADED_SERVE
+    assert report.verified is True          # degraded, never wrong
+    assert report.counters["pending"] == 0  # relief delivered everything
+    assert report.counters["resharded"] == 1
+    entry = report.shard_stats[0]
+    assert entry["failed"] and entry["resharded_to"] == 1
+    assert any("re-sharding" in warning for warning in report.warnings)
+
+
+def test_no_survivor_raises_serve_error():
+    """Every shard storming means nobody can adopt anybody: the pool
+    collapses with a ServeError (CLI exit 3), not a hang."""
+    plan = FaultPlan.from_dict(
+        {"seed": 3, "workers": {"*": {"kill_after_batches": 0,
+                                      "every_incarnation": True}}},
+        name="total-storm")
+    with pytest.raises(ServeError):
+        run_serve(plan=plan, policy=ServePolicy(
+            max_restarts=1, relief_restarts=1,
+            backoff_base=0.01, backoff_cap=0.05))
+
+
+def test_hang_is_killed_and_classified():
+    """A silent-but-alive worker trips the heartbeat timeout, is
+    SIGKILLed, and the restarted incarnation finishes the journal."""
+    plan = FaultPlan.from_dict(
+        {"seed": 5, "workers": {"shard-0": {"hang_after_batches": 1}}},
+        name="one-hang")
+    report = run_serve(plan=plan, policy=ServePolicy(
+        backoff_base=0.01, backoff_cap=0.05, hang_timeout=0.5))
+    assert report.ok
+    assert report.counters["hang_kills"] == 1
+    assert any("hang" in cause
+               for cause in report.shard_stats[0]["causes"])
+
+
+def test_graceful_drain_keeps_committed_prefix():
+    """request_drain mid-run: workers stop at batch boundaries, the
+    committed prefix stands and still matches the oracle; the
+    undelivered tail makes the run degraded, not wrong."""
+    plan = FaultPlan.from_dict(
+        {"seed": 9, "workers": {"*": {"hang_after_batches": 1,
+                                      "every_incarnation": True}}},
+        name="drain-hang")
+    runtime = ServeRuntime("ipv4", shards=2, packets=PACKETS, batch=BATCH,
+                           plan=plan,
+                           policy=ServePolicy(backoff_base=0.01,
+                                              hang_timeout=5.0,
+                                              drain_grace=0.5))
+    runtime.on_commit = lambda shard, seq: runtime.request_drain()
+    report = runtime.run()
+    assert report.drained
+    assert report.counters["drained"]
+    assert not report.mismatches            # committed prefix verified
+    assert report.counters["committed"] >= 1
+    if report.counters["pending"]:
+        assert report.degraded
+        assert report.exit_code() == EXIT_DEGRADED_SERVE
+
+
+def test_empty_shards_are_not_spawned():
+    """More shards than flows: empty journals never get a worker."""
+    report = run_serve(shards=8, packets=8, batch=2)
+    assert report.ok
+    empty = [entry for entry in report.shard_stats
+             if entry["batches"] == 0]
+    assert report.counters["workers_spawned"] == 8 - len(empty)
+
+
+def test_journal_dir_persists_a_replayable_trail(tmp_path):
+    from repro.serve import Journal
+
+    report = run_serve(plan=serve_plans()["worker-kill"],
+                       journal_dir=str(tmp_path))
+    assert report.ok
+    trails = sorted(tmp_path.glob("shard-*.jsonl"))
+    assert trails
+    records = Journal.load_records(trails[0])
+    kinds = {record["type"] for record in records}
+    assert "batch" in kinds and "commit" in kinds and "replay" in kinds
+    batches = [r for r in records if r["type"] == "batch"]
+    assert all(isinstance(p, bytes)
+               for r in batches for p in r["packets"])
+
+
+def test_runtime_report_carries_serve_counters():
+    report = run_serve()
+    runtime_report = report.runtime_report()
+    assert runtime_report.serve["batches"] == report.counters["batches"]
+    names = {stage.name for stage in runtime_report.stages}
+    assert names == {f"shard-{e['shard']}" for e in report.shard_stats}
+    assert "serve:" in runtime_report.render()
+
+
+def test_sharding_respects_flows_at_every_width():
+    from repro.apps.suite import build_app
+    from repro.serve import flow_key
+
+    app = build_app("ipv4", packets=PACKETS, seed=7)
+    stream = app.stream()
+    for shards in (1, 2, 4, 8):
+        buckets = shard_stream(stream, shards)
+        assert sum(len(b) for b in buckets) == len(stream)
+        seen = {}
+        for index, bucket in enumerate(buckets):
+            for packet in bucket:
+                key = flow_key(packet)
+                assert seen.setdefault(key, index) == index
+
+
+# -- the serve chaos differential (the eval/chaos extension) ----------------
+
+
+@pytest.mark.chaos
+def test_serve_differential_shard_sweep():
+    """Worker-kill chaos at shard counts {2,4,8}: >= 1 worker killed
+    mid-stream at every width, output bit-identical per flow to the
+    sequential oracle."""
+    from repro.eval.chaos import DEFAULT_SHARD_COUNTS, serve_differential
+
+    report = serve_differential(policy=FAST)
+    assert report.ok, report.render()
+    assert tuple(o.shards for o in report.outcomes) == DEFAULT_SHARD_COUNTS
+    for outcome in report.outcomes:
+        assert outcome.kills_observed, \
+            f"shards {outcome.shards}: no worker was killed mid-stream"
+        assert not outcome.mismatches
+        assert outcome.committed == outcome.batches
+    payload = report.as_dict()
+    assert payload["shard_counts"] == list(DEFAULT_SHARD_COUNTS)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_serve_parser_and_exit_codes(tmp_path, capsys):
+    code = main(["serve", "--app", "ipv4", "--shards", "2",
+                 "--packets", str(PACKETS), "--batch", str(BATCH),
+                 "--backoff", "0.01", "--no-cache",
+                 "-o", str(tmp_path / "serve.json")])
+    assert code == EXIT_OK
+    out = capsys.readouterr().out
+    assert "bit-identical to the sequential oracle" in out
+    import json
+
+    payload = json.loads((tmp_path / "serve.json").read_text())
+    assert payload["ok"] and payload["counters"]["pending"] == 0
+
+
+def test_cli_serve_worker_storm_exits_degraded(capsys):
+    code = main(["serve", "--app", "ipv4", "--shards", "2",
+                 "--packets", str(PACKETS), "--batch", str(BATCH),
+                 "--faults", "worker-storm", "--backoff", "0.01",
+                 "--no-cache"])
+    assert code == EXIT_DEGRADED_SERVE
+    captured = capsys.readouterr()
+    assert "re-sharding" in captured.err
+    assert "degraded" in captured.out
+
+
+def test_cli_serve_trace_has_lifecycle_instants(tmp_path):
+    import json
+
+    trace = tmp_path / "serve-trace.json"
+    code = main(["serve", "--app", "ipv4", "--shards", "2",
+                 "--packets", str(PACKETS), "--batch", str(BATCH),
+                 "--faults", "worker-kill", "--backoff", "0.01",
+                 "--no-cache", "--trace", str(trace)])
+    assert code == EXIT_OK
+    events = json.loads(trace.read_text())["traceEvents"]
+    names = {event["name"] for event in events}
+    assert {"serve", "shard_spawn", "shard_exit",
+            "shard_restart"} <= names
+    counters = [e for e in events if e["ph"] == "C" and e["name"] == "serve"]
+    assert counters and counters[0]["args"]["restarts"] >= 1
